@@ -1,0 +1,34 @@
+// Ablation — the grid dimensioning rule d = √2·r/3 (paper §2).
+//
+// Sweeps the cell side d around the paper's 100 m choice (r = 250 m gives
+// d_max = √2·250/3 ≈ 117.9 m). Larger cells mean fewer gateways awake
+// (more energy saved) but break the guarantee that a centre gateway
+// reaches all eight neighbours — delivery should degrade past d_max.
+// Smaller cells keep delivery perfect but leave many more hosts awake.
+#include <cstdio>
+
+#include "bench_support.hpp"
+#include "geo/grid.hpp"
+
+int main() {
+  using namespace ecgrid;
+
+  const double duration = bench::quickMode() ? 400.0 : 590.0;
+  std::printf("Ablation — grid cell side d (r=250 m, d_max=%.1f m)\n",
+              geo::maxCellSideForRange(250.0));
+  std::printf("  %-10s %10s %12s %12s %12s\n", "d (m)", "PDR%%",
+              "latency ms", "awake@300", "alive@end");
+
+  for (double d : {60.0, 80.0, 100.0, 118.0, 140.0, 170.0}) {
+    harness::ScenarioConfig config = bench::paperBaseline();
+    config.protocol = harness::ProtocolKind::kEcgrid;
+    config.gridCellSide = d;
+    config.duration = duration;
+    harness::ScenarioResult result = harness::runScenario(config);
+    std::printf("  %-10.0f %10.2f %12.1f %12.2f %12.2f\n", d,
+                100.0 * result.deliveryRate, 1e3 * result.meanLatencySeconds,
+                result.awakeFraction.valueAt(300.0),
+                result.aliveFraction.points().back().second);
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation — ECGRID's battery-level load-balance retirement (paper §3.2).
+//
+// Compares full ECGRID against ECGRID with load-balance retirement
+// disabled (gateways serve until they leave the grid or die). The rule's
+// value shows up in the *spread* of death times: without rotation the
+// unlucky early gateways burn out first while sleepers coast, so first
+// deaths come earlier and the alive curve decays with a long tail.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_support.hpp"
+
+namespace {
+
+double deathSpread(const std::vector<double>& deaths) {
+  if (deaths.size() < 2) return 0.0;
+  double mean = 0.0;
+  for (double d : deaths) mean += d;
+  mean /= static_cast<double>(deaths.size());
+  double var = 0.0;
+  for (double d : deaths) var += (d - mean) * (d - mean);
+  return std::sqrt(var / static_cast<double>(deaths.size()));
+}
+
+}  // namespace
+
+int main() {
+  using namespace ecgrid;
+
+  const double duration = bench::quickMode() ? 900.0 : 1600.0;
+  std::printf("Ablation — ECGRID load-balance retirement\n");
+  std::printf("  %-28s %10s %10s %10s %10s\n", "variant", "1st death",
+              "death std", "alive@800", "PDR%%");
+
+  for (bool loadBalance : {true, false}) {
+    harness::ScenarioConfig config = bench::paperBaseline();
+    config.protocol = harness::ProtocolKind::kEcgrid;
+    config.duration = duration;
+    config.ecgrid.enableLoadBalance = loadBalance;
+    harness::ScenarioResult result = harness::runScenario(config);
+    std::printf("  %-28s %10.0f %10.1f %10.2f %10.2f\n",
+                loadBalance ? "ECGRID (load balance on)"
+                            : "ECGRID (load balance off)",
+                result.firstDeath >= sim::kTimeNever ? -1.0
+                                                     : result.firstDeath,
+                deathSpread(result.deathTimes),
+                result.aliveFraction.valueAt(800.0),
+                100.0 * result.deliveryRate);
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation — what actually saves the energy?
+//
+// Three variants isolate ECGRID's two mechanisms:
+//   GRID                      — no energy management at all;
+//   ECGRID (sleep off)        — battery-aware election + load balance,
+//                               but transceivers never sleep;
+//   ECGRID (full)             — sleeping + paging + everything.
+// The paper's core claim is that the sleeping (with RAS paging so nothing
+// is lost) does the heavy lifting; election rules alone merely reshuffle
+// who dies first.
+#include <cstdio>
+
+#include "bench_support.hpp"
+
+int main() {
+  using namespace ecgrid;
+
+  const double duration = bench::quickMode() ? 900.0 : 1600.0;
+  std::printf("Ablation — sleep mode vs election rules only\n");
+  std::printf("  %-28s %10s %10s %10s %10s\n", "variant", "1st death",
+              "alive@700", "alive@900", "PDR%%");
+
+  auto report = [&](const char* label, harness::ScenarioConfig config) {
+    config.duration = duration;
+    harness::ScenarioResult result = harness::runScenario(config);
+    std::printf("  %-28s %10.0f %10.2f %10.2f %10.2f\n", label,
+                result.firstDeath >= sim::kTimeNever ? -1.0
+                                                     : result.firstDeath,
+                result.aliveFraction.valueAt(700.0),
+                result.aliveFraction.valueAt(900.0),
+                100.0 * result.deliveryRate);
+  };
+
+  {
+    harness::ScenarioConfig config = bench::paperBaseline();
+    config.protocol = harness::ProtocolKind::kGrid;
+    report("GRID", config);
+  }
+  {
+    harness::ScenarioConfig config = bench::paperBaseline();
+    config.protocol = harness::ProtocolKind::kEcgrid;
+    config.ecgrid.enableSleep = false;
+    report("ECGRID (sleep off)", config);
+  }
+  {
+    harness::ScenarioConfig config = bench::paperBaseline();
+    config.protocol = harness::ProtocolKind::kEcgrid;
+    report("ECGRID (full)", config);
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Shared scaffolding for the figure-reproduction benches.
+//
+// Every bench binary reproduces one figure of the paper: it sweeps the
+// figure's parameter(s), prints the same series the paper plots as an
+// aligned text table, and writes a CSV next to the binary (bench_out/)
+// for plotting. Benches honour two environment variables:
+//   ECGRID_BENCH_QUICK=1  — shrink horizons/sweeps for smoke runs
+//   ECGRID_BENCH_SEEDS=N  — number of seeds averaged where applicable
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "harness/scenario.hpp"
+#include "stats/timeseries.hpp"
+
+namespace ecgrid::bench {
+
+inline bool quickMode() {
+  const char* env = std::getenv("ECGRID_BENCH_QUICK");
+  return env != nullptr && std::string(env) != "0";
+}
+
+inline int seedCount(int fallback) {
+  const char* env = std::getenv("ECGRID_BENCH_SEEDS");
+  if (env == nullptr) return fallback;
+  int n = std::atoi(env);
+  return n > 0 ? n : fallback;
+}
+
+/// The paper's common scenario (§4): 1000×1000 m, d=100 m, r=250 m,
+/// 2 Mbps, 500 J, random waypoint, CBR 512 B with a total network load of
+/// 10 pkt/s (one 10-packets-per-second source, see EXPERIMENTS.md).
+inline harness::ScenarioConfig paperBaseline() {
+  harness::ScenarioConfig config;
+  config.hostCount = 100;
+  config.flowCount = 1;
+  config.packetsPerSecondPerFlow = 10.0;
+  config.maxSpeed = 1.0;
+  config.pauseTime = 0.0;
+  config.duration = 2000.0;
+  return config;
+}
+
+inline std::string outputDir() {
+  std::filesystem::path dir = "bench_out";
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+inline void writeSeries(const std::string& figure,
+                        const std::vector<stats::TimeSeries>& series) {
+  std::string path = outputDir() + "/" + figure + ".csv";
+  stats::writeCsv(path, series);
+  std::printf("  [csv] %s\n", path.c_str());
+}
+
+/// Print one time series row-sampled at fixed instants.
+inline void printSampled(const char* label, const stats::TimeSeries& series,
+                         const std::vector<double>& sampleTimes) {
+  std::printf("  %-22s", label);
+  for (double t : sampleTimes) {
+    std::printf(" %6.3f", series.valueAt(t));
+  }
+  std::printf("\n");
+}
+
+inline void printHeaderTimes(const char* what,
+                             const std::vector<double>& sampleTimes) {
+  std::printf("  %-22s", what);
+  for (double t : sampleTimes) std::printf(" %6.0f", t);
+  std::printf("\n");
+}
+
+}  // namespace ecgrid::bench

@@ -1,0 +1,46 @@
+// Figure 4 — fraction of alive hosts vs. simulation time.
+//
+// Paper setup: 100 hosts, 10 pkt/s CBR, constant mobility (pause 0),
+// roaming speed 1 m/s (a) and 10 m/s (b), horizon 2000 s. GRID (no energy
+// management) collapses at ≈590 s; ECGRID and GAF extend the lifetime,
+// with GAF slightly ahead of ECGRID (its Model-1 endpoints are free).
+#include <cstdio>
+
+#include "bench_support.hpp"
+
+int main() {
+  using namespace ecgrid;
+  using harness::ProtocolKind;
+
+  const std::vector<double> sampleTimes = {100, 300, 590, 800, 1000,
+                                           1200, 1500, 2000};
+  const double duration = bench::quickMode() ? 800.0 : 2000.0;
+
+  std::printf("Figure 4 — fraction of alive hosts vs simulation time\n");
+  std::printf("(100 hosts, 10 pkt/s, pause 0; paper: GRID down at 590 s, "
+              "ECGRID/GAF extend lifetime, GAF slightly ahead)\n");
+
+  for (double speed : {1.0, 10.0}) {
+    std::printf("\n(%c) roaming speed = %.0f m/s\n", speed == 1.0 ? 'a' : 'b',
+                speed);
+    bench::printHeaderTimes("t (s)", sampleTimes);
+    std::vector<stats::TimeSeries> csv;
+    for (ProtocolKind protocol :
+         {ProtocolKind::kGrid, ProtocolKind::kEcgrid, ProtocolKind::kGaf}) {
+      harness::ScenarioConfig config = bench::paperBaseline();
+      config.protocol = protocol;
+      config.maxSpeed = speed;
+      config.duration = duration;
+      harness::ScenarioResult result = harness::runScenario(config);
+      bench::printSampled(harness::toString(protocol), result.aliveFraction,
+                          sampleTimes);
+      stats::TimeSeries labelled(std::string(harness::toString(protocol)) +
+                                 "_alive");
+      for (auto [t, v] : result.aliveFraction.points()) labelled.add(t, v);
+      csv.push_back(std::move(labelled));
+    }
+    bench::writeSeries(
+        speed == 1.0 ? "fig4a_alive_speed1" : "fig4b_alive_speed10", csv);
+  }
+  return 0;
+}

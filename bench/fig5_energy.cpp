@@ -1,0 +1,54 @@
+// Figure 5 — mean energy consumption per host (aen) vs. simulation time.
+//
+// aen = Σᵢ consumedᵢ(t) / (n·E₀), the paper's eq. (2). Before GRID's
+// 590 s collapse the paper reports GRID ≈33 % above ECGRID and ≈38 %
+// above GAF; after every GRID host dies its aen pins at 1.0.
+#include <cstdio>
+
+#include "bench_support.hpp"
+
+int main() {
+  using namespace ecgrid;
+  using harness::ProtocolKind;
+
+  const std::vector<double> sampleTimes = {100, 200, 300, 400, 500,
+                                           590, 800, 1200, 2000};
+  const double duration = bench::quickMode() ? 800.0 : 2000.0;
+
+  std::printf("Figure 5 — mean energy consumption per host (aen) vs time\n");
+  std::printf("(paper: before 590 s, GRID ~33%% above ECGRID and ~38%% "
+              "above GAF)\n");
+
+  for (double speed : {1.0, 10.0}) {
+    std::printf("\n(%c) roaming speed = %.0f m/s\n", speed == 1.0 ? 'a' : 'b',
+                speed);
+    bench::printHeaderTimes("t (s)", sampleTimes);
+    std::vector<stats::TimeSeries> csv;
+    double aenAt500[3] = {0, 0, 0};
+    int idx = 0;
+    for (ProtocolKind protocol :
+         {ProtocolKind::kGrid, ProtocolKind::kEcgrid, ProtocolKind::kGaf}) {
+      harness::ScenarioConfig config = bench::paperBaseline();
+      config.protocol = protocol;
+      config.maxSpeed = speed;
+      config.duration = duration;
+      harness::ScenarioResult result = harness::runScenario(config);
+      bench::printSampled(harness::toString(protocol), result.aen,
+                          sampleTimes);
+      aenAt500[idx++] = result.aen.valueAt(500.0);
+      stats::TimeSeries labelled(std::string(harness::toString(protocol)) +
+                                 "_aen");
+      for (auto [t, v] : result.aen.points()) labelled.add(t, v);
+      csv.push_back(std::move(labelled));
+    }
+    if (aenAt500[1] > 0.0 && aenAt500[2] > 0.0) {
+      std::printf("  GRID/ECGRID aen ratio at t=500: %.2f (paper ~1.33)\n",
+                  aenAt500[0] / aenAt500[1]);
+      std::printf("  GRID/GAF    aen ratio at t=500: %.2f (paper ~1.38)\n",
+                  aenAt500[0] / aenAt500[2]);
+    }
+    bench::writeSeries(speed == 1.0 ? "fig5a_aen_speed1" : "fig5b_aen_speed10",
+                       csv);
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 6 — mean packet delivery latency vs. pause time.
+//
+// Paper setup: 100 hosts, 10 pkt/s, horizon 590 s (GRID's lifetime),
+// pause times 0–600 s, speeds 1 and 10 m/s. All three protocols land in
+// the same single-digit-to-low-teens millisecond band, roughly flat in
+// pause time and slightly higher at 10 m/s. Results are averaged over
+// several seeds because a single CBR flow's latency is dominated by its
+// (random) endpoint distance.
+#include <cstdio>
+
+#include "bench_support.hpp"
+
+int main() {
+  using namespace ecgrid;
+  using harness::ProtocolKind;
+
+  const std::vector<double> pauseTimes =
+      bench::quickMode() ? std::vector<double>{0, 300, 600}
+                         : std::vector<double>{0, 150, 300, 450, 600};
+  const int seeds = bench::seedCount(bench::quickMode() ? 1 : 2);
+  const double horizon = bench::quickMode() ? 300.0 : 590.0;
+
+  std::printf("Figure 6 — mean packet delivery latency (ms) vs pause time\n");
+  std::printf("(horizon %.0f s, %d seed(s) averaged; paper: 7.1–10.7 ms at "
+              "1 m/s, 8.5–12.5 ms at 10 m/s)\n",
+              horizon, seeds);
+
+  for (double speed : {1.0, 10.0}) {
+    std::printf("\n(%c) roaming speed = %.0f m/s\n", speed == 1.0 ? 'a' : 'b',
+                speed);
+    std::printf("  %-22s", "pause (s)");
+    for (double p : pauseTimes) std::printf(" %6.0f", p);
+    std::printf("\n");
+
+    std::vector<stats::TimeSeries> csv;
+    for (ProtocolKind protocol :
+         {ProtocolKind::kGrid, ProtocolKind::kEcgrid, ProtocolKind::kGaf}) {
+      stats::TimeSeries row(std::string(harness::toString(protocol)) +
+                            "_latency_ms");
+      std::printf("  %-22s", harness::toString(protocol));
+      for (double pause : pauseTimes) {
+        double sumMs = 0.0;
+        for (int seed = 0; seed < seeds; ++seed) {
+          harness::ScenarioConfig config = bench::paperBaseline();
+          config.protocol = protocol;
+          config.maxSpeed = speed;
+          config.pauseTime = pause;
+          config.duration = horizon;
+          config.seed = static_cast<std::uint64_t>(1 + seed);
+          harness::ScenarioResult result = harness::runScenario(config);
+          sumMs += 1e3 * result.meanLatencySeconds;
+        }
+        double meanMs = sumMs / seeds;
+        std::printf(" %6.1f", meanMs);
+        row.add(pause, meanMs);
+      }
+      std::printf("\n");
+      csv.push_back(std::move(row));
+    }
+    bench::writeSeries(
+        speed == 1.0 ? "fig6a_latency_speed1" : "fig6b_latency_speed10", csv);
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 7 — packet delivery rate vs. pause time.
+//
+// Same setup as Figure 6. The paper reports >99 % for all three protocols
+// at both speeds and every pause time (GAF only thanks to its Model-1
+// always-active endpoints).
+#include <cstdio>
+
+#include "bench_support.hpp"
+
+int main() {
+  using namespace ecgrid;
+  using harness::ProtocolKind;
+
+  const std::vector<double> pauseTimes =
+      bench::quickMode() ? std::vector<double>{0, 300, 600}
+                         : std::vector<double>{0, 150, 300, 450, 600};
+  const int seeds = bench::seedCount(bench::quickMode() ? 1 : 2);
+  const double horizon = bench::quickMode() ? 300.0 : 590.0;
+
+  std::printf("Figure 7 — packet delivery rate (%%) vs pause time\n");
+  std::printf("(horizon %.0f s, %d seed(s) averaged; paper: >99%% "
+              "everywhere)\n",
+              horizon, seeds);
+
+  for (double speed : {1.0, 10.0}) {
+    std::printf("\n(%c) roaming speed = %.0f m/s\n", speed == 1.0 ? 'a' : 'b',
+                speed);
+    std::printf("  %-22s", "pause (s)");
+    for (double p : pauseTimes) std::printf(" %6.0f", p);
+    std::printf("\n");
+
+    std::vector<stats::TimeSeries> csv;
+    for (ProtocolKind protocol :
+         {ProtocolKind::kGrid, ProtocolKind::kEcgrid, ProtocolKind::kGaf}) {
+      stats::TimeSeries row(std::string(harness::toString(protocol)) +
+                            "_pdr_pct");
+      std::printf("  %-22s", harness::toString(protocol));
+      for (double pause : pauseTimes) {
+        double sum = 0.0;
+        for (int seed = 0; seed < seeds; ++seed) {
+          harness::ScenarioConfig config = bench::paperBaseline();
+          config.protocol = protocol;
+          config.maxSpeed = speed;
+          config.pauseTime = pause;
+          config.duration = horizon;
+          config.seed = static_cast<std::uint64_t>(1 + seed);
+          harness::ScenarioResult result = harness::runScenario(config);
+          sum += 100.0 * result.deliveryRate;
+        }
+        double pct = sum / seeds;
+        std::printf(" %6.2f", pct);
+        row.add(pause, pct);
+      }
+      std::printf("\n");
+      csv.push_back(std::move(row));
+    }
+    bench::writeSeries(
+        speed == 1.0 ? "fig7a_pdr_speed1" : "fig7b_pdr_speed10", csv);
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 8 — fraction of alive hosts vs. time for varying host density.
+//
+// Paper setup: 50/100/150/200 hosts, GRID vs ECGRID, 10 pkt/s, pause 0,
+// speeds 1 and 10 m/s. GRID's lifetime does not depend on density (every
+// host idles); ECGRID's lifetime grows with density because more hosts
+// share each grid's gateway duty. Higher speed mixes hosts across grids,
+// improving load balance (later first deaths) at the cost of more
+// election overhead.
+#include <cstdio>
+
+#include "bench_support.hpp"
+
+int main() {
+  using namespace ecgrid;
+  using harness::ProtocolKind;
+
+  const std::vector<int> densities =
+      bench::quickMode() ? std::vector<int>{50, 100}
+                         : std::vector<int>{50, 100, 150, 200};
+  const std::vector<double> sampleTimes = {300, 590, 700, 800, 1000,
+                                           1200, 1600, 2000};
+  const double duration = bench::quickMode() ? 800.0 : 2000.0;
+
+  std::printf("Figure 8 — alive fraction vs time, by host density\n");
+  std::printf("(paper: GRID flat in density; ECGRID lifetime grows with "
+              "density)\n");
+
+  for (double speed : {1.0, 10.0}) {
+    std::printf("\n(%c) roaming speed = %.0f m/s\n", speed == 1.0 ? 'a' : 'b',
+                speed);
+    bench::printHeaderTimes("t (s)", sampleTimes);
+    std::vector<stats::TimeSeries> csv;
+    for (ProtocolKind protocol :
+         {ProtocolKind::kGrid, ProtocolKind::kEcgrid}) {
+      for (int hosts : densities) {
+        harness::ScenarioConfig config = bench::paperBaseline();
+        config.protocol = protocol;
+        config.hostCount = hosts;
+        config.maxSpeed = speed;
+        config.duration = duration;
+        harness::ScenarioResult result = harness::runScenario(config);
+        char label[64];
+        std::snprintf(label, sizeof label, "%s n=%d",
+                      harness::toString(protocol), hosts);
+        bench::printSampled(label, result.aliveFraction, sampleTimes);
+        char csvLabel[64];
+        std::snprintf(csvLabel, sizeof csvLabel, "%s_n%d",
+                      harness::toString(protocol), hosts);
+        stats::TimeSeries labelled(csvLabel);
+        for (auto [t, v] : result.aliveFraction.points()) labelled.add(t, v);
+        csv.push_back(std::move(labelled));
+      }
+    }
+    bench::writeSeries(
+        speed == 1.0 ? "fig8a_density_speed1" : "fig8b_density_speed10", csv);
+  }
+  return 0;
+}

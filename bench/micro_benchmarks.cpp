@@ -1,0 +1,160 @@
+// Microbenchmarks (google-benchmark) for the simulator's hot paths: the
+// event queue, RNG streams, grid math, the unit-disk channel fan-out, and
+// the gateway election rules. These bound how fast whole scenarios can
+// run; a 2000 s / 100-host ECGRID run executes a few million events.
+#include <benchmark/benchmark.h>
+
+#include "energy/battery.hpp"
+#include "geo/grid.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "net/network.hpp"
+#include "protocols/common/election.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace ecgrid;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    int fired = 0;
+    for (int i = 0; i < batch; ++i) {
+      queue.push(static_cast<double>((i * 7919) % batch),
+                 [&fired] { ++fired; });
+    }
+    while (auto record = queue.pop()) {
+      record->action();
+    }
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(16384);
+
+void BM_EventCancellation(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(batch);
+    for (int i = 0; i < batch; ++i) {
+      handles.push_back(queue.push(static_cast<double>(i), [] {}));
+    }
+    for (int i = 0; i < batch; i += 2) handles[i].cancel();
+    int live = 0;
+    while (auto record = queue.pop()) {
+      record->action();
+      ++live;
+    }
+    benchmark::DoNotOptimize(live);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventCancellation)->Arg(4096);
+
+void BM_RngStream(benchmark::State& state) {
+  sim::RngStream rng(42);
+  double acc = 0.0;
+  for (auto _ : state) {
+    acc += rng.uniform(0.0, 1.0);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RngStream);
+
+void BM_GridMapping(benchmark::State& state) {
+  geo::GridMap grid(100.0);
+  double x = 3.0;
+  std::int64_t acc = 0;
+  for (auto _ : state) {
+    geo::Vec2 p{x, 1000.0 - x};
+    geo::GridCoord c = grid.cellOf(p);
+    acc += c.x + c.y;
+    x += 0.37;
+    if (x > 1000.0) x = 0.0;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_GridMapping);
+
+void BM_WaypointAdvance(benchmark::State& state) {
+  sim::RngFactory factory(7);
+  mobility::RandomWaypointConfig config;
+  config.maxSpeed = 10.0;
+  mobility::RandomWaypoint waypoint(config, factory.stream("bench"));
+  double t = 0.0;
+  geo::Vec2 acc{};
+  for (auto _ : state) {
+    t += 0.5;
+    acc += waypoint.positionAt(t);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_WaypointAdvance);
+
+void BM_Election(benchmark::State& state) {
+  const int fieldSize = static_cast<int>(state.range(0));
+  std::vector<protocols::Candidate> field;
+  sim::RngStream rng(3);
+  for (int i = 0; i < fieldSize; ++i) {
+    protocols::Candidate c;
+    c.id = i;
+    c.level = static_cast<energy::BatteryLevel>(rng.uniformInt(0, 2));
+    c.distToCenter = rng.uniform(0.0, 70.0);
+    field.push_back(c);
+  }
+  protocols::ElectionPolicy policy;
+  for (auto _ : state) {
+    auto winner = protocols::electGateway(field, policy);
+    benchmark::DoNotOptimize(winner);
+  }
+}
+BENCHMARK(BM_Election)->Arg(8)->Arg(64);
+
+void BM_ChannelBroadcastFanout(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  sim::Simulator simulator(11);
+  net::NetworkConfig netConfig;
+  net::Network network(simulator, netConfig);
+  sim::RngStream rng(5);
+  for (int i = 0; i < nodes; ++i) {
+    net::NodeConfig nodeConfig;
+    nodeConfig.id = i;
+    nodeConfig.infiniteBattery = true;
+    auto mobility = std::make_unique<mobility::StaticMobility>(
+        geo::Vec2{rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)});
+    network.addNode(std::move(mobility), nodeConfig);
+  }
+  net::Packet frame;
+  frame.macSrc = 0;
+  frame.macDst = net::kBroadcastId;
+  class Tiny final : public net::Header {
+   public:
+    int bytes() const override { return 8; }
+    const char* name() const override { return "tiny"; }
+  };
+  frame.header = std::make_shared<Tiny>();
+  for (auto _ : state) {
+    network.channel().transmitFrom(network.node(0).radio(), frame, 1e-4);
+    simulator.run(simulator.now() + 1.0);
+  }
+  state.SetItemsProcessed(state.iterations() * nodes);
+}
+BENCHMARK(BM_ChannelBroadcastFanout)->Arg(50)->Arg(200);
+
+void BM_BatteryIntegration(benchmark::State& state) {
+  energy::Battery battery(1e12);
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 0.01;
+    battery.setPowerW(t - std::floor(t) + 0.1, t);
+    benchmark::DoNotOptimize(battery.remainingJ(t));
+  }
+}
+BENCHMARK(BM_BatteryIntegration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

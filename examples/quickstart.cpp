@@ -1,0 +1,109 @@
+// Quickstart: run one ECGRID scenario and print the headline numbers.
+//
+//   $ ./quickstart [--protocol ECGRID|GRID|GAF|FLOOD] [--hosts N]
+//                  [--speed M/S] [--duration S] [--seed N]
+//
+// This is the smallest complete use of the library: configure a scenario,
+// run it, read the result.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "harness/scenario.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ecgrid;
+
+  util::Flags flags(argc, argv,
+                    {"protocol", "hosts", "speed", "duration", "seed",
+                     "flows", "pps", "latency-percentiles"});
+
+  harness::ScenarioConfig config;
+  auto protocol =
+      harness::protocolFromString(flags.getString("protocol", "ECGRID"));
+  if (!protocol.has_value()) {
+    std::fprintf(stderr, "unknown protocol\n");
+    return 1;
+  }
+  config.protocol = *protocol;
+  config.hostCount = flags.getInt("hosts", 100);
+  config.maxSpeed = flags.getDouble("speed", 1.0);
+  config.duration = flags.getDouble("duration", 600.0);
+  config.seed = static_cast<std::uint64_t>(flags.getInt("seed", 1));
+  config.flowCount = flags.getInt("flows", 10);
+  config.packetsPerSecondPerFlow = flags.getDouble("pps", 1.0);
+
+  std::printf("ECGRID quickstart — protocol=%s hosts=%d speed=%.1f m/s "
+              "duration=%.0f s\n",
+              harness::toString(config.protocol), config.hostCount,
+              config.maxSpeed, config.duration);
+
+  harness::ScenarioResult result = harness::runScenario(config);
+
+  std::printf("  events executed      : %llu\n",
+              static_cast<unsigned long long>(result.eventsExecuted));
+  std::printf("  frames on the air    : %llu\n",
+              static_cast<unsigned long long>(result.framesTransmitted));
+  std::printf("  RAS pages sent       : %llu\n",
+              static_cast<unsigned long long>(result.pagesSent));
+  std::printf("  packets sent/received: %llu / %llu (PDR %.2f%%)\n",
+              static_cast<unsigned long long>(result.packetsSent),
+              static_cast<unsigned long long>(result.packetsReceived),
+              100.0 * result.deliveryRate);
+  std::printf("  mean latency         : %.2f ms (p95 %.2f ms)\n",
+              1e3 * result.meanLatencySeconds, 1e3 * result.p95LatencySeconds);
+  std::printf("  median latency       : %.2f ms\n",
+              1e3 * result.p50LatencySeconds);
+  std::printf("  first host death     : %s\n",
+              result.firstDeath >= sim::kTimeNever
+                  ? "none"
+                  : (std::to_string(result.firstDeath) + " s").c_str());
+  std::printf("  alive at end         : %.0f%%\n",
+              100.0 * result.aliveFraction.points().back().second);
+  std::printf("  alive curve          :");
+  for (double t : {200.0, 400.0, 600.0, 800.0, 1000.0, 1200.0, 1600.0,
+                   2000.0}) {
+    if (t > config.duration) break;
+    std::printf(" %.0f:%.2f", t, result.aliveFraction.valueAt(t));
+  }
+  std::printf("\n");
+  std::printf("  awake curve          :");
+  for (double t : {100.0, 300.0, 500.0, 700.0, 900.0}) {
+    if (t > config.duration) break;
+    std::printf(" %.0f:%.2f", t, result.awakeFraction.valueAt(t));
+  }
+  std::printf("\n");
+  std::printf("  aen at end           : %.3f\n",
+              result.aen.points().back().second);
+  if (flags.getBool("latency-percentiles", false) &&
+      !result.latencies.empty()) {
+    std::vector<double> sorted = result.latencies;
+    std::sort(sorted.begin(), sorted.end());
+    for (double p : {5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0}) {
+      std::size_t idx =
+          static_cast<std::size_t>(p / 100.0 * (sorted.size() - 1));
+      std::printf("  latency p%-4.0f        : %.1f ms\n", p,
+                  1e3 * sorted[idx]);
+    }
+  }
+  std::printf("  mac: sent=%llu dropped=%llu retx=%llu acks=%llu/skip=%llu\n",
+              static_cast<unsigned long long>(result.macFramesSent),
+              static_cast<unsigned long long>(result.macFramesDropped),
+              static_cast<unsigned long long>(result.macRetransmissions),
+              static_cast<unsigned long long>(result.macAcksSent),
+              static_cast<unsigned long long>(result.macAcksSkipped));
+  std::printf(
+      "  routing: originated=%llu forwarded=%llu delivered=%llu "
+      "dropped=%llu rreq=%llu rrep=%llu rerr=%llu disc=%llu discFail=%llu\n",
+      static_cast<unsigned long long>(result.routing.dataOriginated),
+      static_cast<unsigned long long>(result.routing.dataForwarded),
+      static_cast<unsigned long long>(result.routing.dataDeliveredLocal),
+      static_cast<unsigned long long>(result.routing.dataDropped),
+      static_cast<unsigned long long>(result.routing.rreqsSent),
+      static_cast<unsigned long long>(result.routing.rrepsSent),
+      static_cast<unsigned long long>(result.routing.rerrsSent),
+      static_cast<unsigned long long>(result.routing.discoveriesStarted),
+      static_cast<unsigned long long>(result.routing.discoveriesFailed));
+  return 0;
+}

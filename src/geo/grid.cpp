@@ -1,0 +1,59 @@
+#include "geo/grid.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace ecgrid::geo {
+
+double maxCellSideForRange(double radioRange) {
+  ECGRID_REQUIRE(radioRange > 0.0, "radio range must be positive");
+  return std::sqrt(2.0) * radioRange / 3.0;
+}
+
+GridMap::GridMap(double cellSide) : cellSide_(cellSide) {
+  ECGRID_REQUIRE(cellSide > 0.0, "cell side must be positive");
+}
+
+GridCoord GridMap::cellOf(const Vec2& position) const {
+  return GridCoord{static_cast<std::int32_t>(std::floor(position.x / cellSide_)),
+                   static_cast<std::int32_t>(std::floor(position.y / cellSide_))};
+}
+
+Vec2 GridMap::centerOf(const GridCoord& cell) const {
+  return Vec2{(cell.x + 0.5) * cellSide_, (cell.y + 0.5) * cellSide_};
+}
+
+Vec2 GridMap::originOf(const GridCoord& cell) const {
+  return Vec2{cell.x * cellSide_, cell.y * cellSide_};
+}
+
+double GridMap::distanceToOwnCenter(const Vec2& position) const {
+  return position.distanceTo(centerOf(cellOf(position)));
+}
+
+namespace {
+
+// Time for coordinate `p` moving at `v` to reach either wall of the slab
+// [lo, hi]. Infinite when v == 0 (never exits along this axis).
+double timeToExitSlab(double p, double v, double lo, double hi) {
+  if (v > 0.0) return (hi - p) / v;
+  if (v < 0.0) return (lo - p) / v;
+  return std::numeric_limits<double>::infinity();
+}
+
+}  // namespace
+
+double GridMap::timeToExitCell(const Vec2& position, const Vec2& velocity) const {
+  GridCoord cell = cellOf(position);
+  Vec2 lo = originOf(cell);
+  double tx = timeToExitSlab(position.x, velocity.x, lo.x, lo.x + cellSide_);
+  double ty = timeToExitSlab(position.y, velocity.y, lo.y, lo.y + cellSide_);
+  double t = tx < ty ? tx : ty;
+  // A point sitting exactly on the exit boundary yields t == 0; report a
+  // tiny positive value so callers' timers always make progress.
+  return t > 0.0 ? t : 0.0;
+}
+
+}  // namespace ecgrid::geo

@@ -1,0 +1,93 @@
+// Logical grid partition of the simulation plane (paper §2).
+//
+// The MANET area is split into square cells of side d. The paper picks
+// d = √2·r/3 for radio range r: a gateway at the *centre* of a cell can
+// then reach a gateway located *anywhere* inside any of the eight
+// neighbouring cells (worst case distance = 1.5·√2·d ≤ r). The evaluation
+// uses r = 250 m and rounds down to d = 100 m.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+#include "geo/vec2.hpp"
+
+namespace ecgrid::geo {
+
+/// Integer grid coordinate (cell index), following the paper's
+/// (x, y) convention with (0, 0) at the lower-left corner.
+struct GridCoord {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+
+  constexpr bool operator==(const GridCoord&) const = default;
+  constexpr bool operator!=(const GridCoord&) const = default;
+
+  /// Lexicographic order so GridCoord can key std::map.
+  constexpr bool operator<(const GridCoord& o) const {
+    return x != o.x ? x < o.x : y < o.y;
+  }
+
+  /// Chebyshev distance — two cells are neighbours iff this is <= 1.
+  constexpr std::int32_t chebyshevTo(const GridCoord& o) const {
+    std::int32_t dx = x > o.x ? x - o.x : o.x - x;
+    std::int32_t dy = y > o.y ? y - o.y : o.y - y;
+    return dx > dy ? dx : dy;
+  }
+
+  constexpr bool isNeighbourOf(const GridCoord& o) const {
+    return *this != o && chebyshevTo(o) <= 1;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const GridCoord& g) {
+  return os << "(" << g.x << ", " << g.y << ")";
+}
+
+/// Maximum cell side d such that a centre gateway reaches all points of the
+/// eight neighbouring cells with radio range r: d = √2·r/3 (paper §2).
+double maxCellSideForRange(double radioRange);
+
+/// Maps between continuous positions and grid cells.
+class GridMap {
+ public:
+  /// cellSide: d in metres, must be > 0.
+  explicit GridMap(double cellSide);
+
+  double cellSide() const { return cellSide_; }
+
+  /// Cell containing `position`. Points exactly on a boundary belong to
+  /// the cell on the upper/right side (floor semantics).
+  GridCoord cellOf(const Vec2& position) const;
+
+  /// Geometric centre of `cell`.
+  Vec2 centerOf(const GridCoord& cell) const;
+
+  /// Lower-left corner of `cell`.
+  Vec2 originOf(const GridCoord& cell) const;
+
+  /// Distance from `position` to the centre of its own cell.
+  double distanceToOwnCenter(const Vec2& position) const;
+
+  /// Time until a point moving from `position` with constant `velocity`
+  /// exits the cell it is currently in. Returns +infinity when velocity is
+  /// zero (the point never leaves). Used for the sleepers' dwell timers
+  /// (paper §3.2).
+  double timeToExitCell(const Vec2& position, const Vec2& velocity) const;
+
+ private:
+  double cellSide_;
+};
+
+}  // namespace ecgrid::geo
+
+template <>
+struct std::hash<ecgrid::geo::GridCoord> {
+  std::size_t operator()(const ecgrid::geo::GridCoord& g) const noexcept {
+    // 2-D -> 1-D mix; coordinates are small so collisions are not a worry.
+    std::uint64_t ux = static_cast<std::uint32_t>(g.x);
+    std::uint64_t uy = static_cast<std::uint32_t>(g.y);
+    return static_cast<std::size_t>(ux * 0x9e3779b97f4a7c15ull ^ (uy << 32 | uy));
+  }
+};

@@ -1,0 +1,56 @@
+// Axis-aligned rectangles of grid cells.
+//
+// ECGRID confines route discovery to a search rectangle (the `range` field
+// of RREQ, paper §3.3): only gateways whose grid lies inside participate,
+// which bounds the broadcast storm. The default policy is the smallest
+// rectangle covering the source and destination grids, exactly as in the
+// paper's worked example (Fig. 2).
+#pragma once
+
+#include <algorithm>
+#include <ostream>
+
+#include "geo/grid.hpp"
+
+namespace ecgrid::geo {
+
+struct GridRect {
+  GridCoord lo;  ///< inclusive lower-left cell
+  GridCoord hi;  ///< inclusive upper-right cell
+
+  constexpr bool operator==(const GridRect&) const = default;
+
+  constexpr bool contains(const GridCoord& g) const {
+    return g.x >= lo.x && g.x <= hi.x && g.y >= lo.y && g.y <= hi.y;
+  }
+
+  constexpr std::int64_t cellCount() const {
+    return static_cast<std::int64_t>(hi.x - lo.x + 1) *
+           static_cast<std::int64_t>(hi.y - lo.y + 1);
+  }
+
+  /// Smallest rectangle covering both cells.
+  static constexpr GridRect covering(const GridCoord& a, const GridCoord& b) {
+    return GridRect{{std::min(a.x, b.x), std::min(a.y, b.y)},
+                    {std::max(a.x, b.x), std::max(a.y, b.y)}};
+  }
+
+  /// Rectangle grown by `margin` cells on every side.
+  constexpr GridRect expanded(std::int32_t margin) const {
+    return GridRect{{lo.x - margin, lo.y - margin},
+                    {hi.x + margin, hi.y + margin}};
+  }
+
+  /// The whole plane — used for the paper's "global search" fallback when
+  /// a confined search fails or the destination location is unknown.
+  static constexpr GridRect everywhere() {
+    constexpr std::int32_t kBig = 1 << 30;
+    return GridRect{{-kBig, -kBig}, {kBig, kBig}};
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const GridRect& r) {
+  return os << "[" << r.lo << " .. " << r.hi << "]";
+}
+
+}  // namespace ecgrid::geo

@@ -1,0 +1,47 @@
+// 2-D vectors for host positions and velocities (metres, metres/second).
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+namespace ecgrid::geo {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(const Vec2& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec2& o) const = default;
+
+  constexpr double dot(const Vec2& o) const { return x * o.x + y * o.y; }
+  constexpr double lengthSquared() const { return x * x + y * y; }
+  double length() const { return std::sqrt(lengthSquared()); }
+
+  double distanceTo(const Vec2& o) const { return (*this - o).length(); }
+  constexpr double distanceSquaredTo(const Vec2& o) const {
+    return (*this - o).lengthSquared();
+  }
+
+  /// Unit vector in this direction; the zero vector maps to zero.
+  Vec2 normalized() const {
+    double len = length();
+    return len > 0.0 ? Vec2{x / len, y / len} : Vec2{};
+  }
+};
+
+inline constexpr Vec2 operator*(double s, const Vec2& v) { return v * s; }
+
+inline std::ostream& operator<<(std::ostream& os, const Vec2& v) {
+  return os << "(" << v.x << ", " << v.y << ")";
+}
+
+}  // namespace ecgrid::geo

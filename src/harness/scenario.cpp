@@ -1,0 +1,196 @@
+#include "harness/scenario.hpp"
+
+#include <memory>
+
+#include "mobility/random_waypoint.hpp"
+#include "protocols/flooding/flooding_protocol.hpp"
+#include "protocols/grid/grid_protocol.hpp"
+#include "stats/energy_recorder.hpp"
+#include "traffic/flow_manager.hpp"
+#include "util/error.hpp"
+
+namespace ecgrid::harness {
+
+const char* toString(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kGrid:
+      return "GRID";
+    case ProtocolKind::kEcgrid:
+      return "ECGRID";
+    case ProtocolKind::kGaf:
+      return "GAF";
+    case ProtocolKind::kFlooding:
+      return "FLOOD";
+  }
+  return "?";
+}
+
+std::optional<ProtocolKind> protocolFromString(const std::string& name) {
+  if (name == "GRID" || name == "grid") return ProtocolKind::kGrid;
+  if (name == "ECGRID" || name == "ecgrid") return ProtocolKind::kEcgrid;
+  if (name == "GAF" || name == "gaf") return ProtocolKind::kGaf;
+  if (name == "FLOOD" || name == "flood" || name == "flooding") {
+    return ProtocolKind::kFlooding;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// GPS location oracle: the paper's location-aware assumption lets a
+/// source confine its RREQ search rectangle around the destination's
+/// position. The oracle reads the destination's true current cell.
+std::function<std::optional<geo::GridCoord>(net::NodeId)> makeOracle(
+    net::Network& network, bool enabled) {
+  if (!enabled) {
+    return [](net::NodeId) { return std::optional<geo::GridCoord>{}; };
+  }
+  return [&network](net::NodeId id) -> std::optional<geo::GridCoord> {
+    net::Node* node = network.findNode(id);
+    if (node == nullptr || !node->alive()) return std::nullopt;
+    return node->cell();
+  };
+}
+
+std::unique_ptr<net::RoutingProtocol> makeProtocol(
+    const ScenarioConfig& config, net::Node& node, net::Network& network,
+    bool gafEndpoint) {
+  auto oracle = makeOracle(network, config.useLocationOracle);
+  switch (config.protocol) {
+    case ProtocolKind::kGrid: {
+      protocols::GridProtocolConfig c = config.grid;
+      c.locationHint = oracle;
+      return std::make_unique<protocols::GridProtocol>(node, c);
+    }
+    case ProtocolKind::kEcgrid: {
+      core::EcgridConfig c = config.ecgrid;
+      c.base.locationHint = oracle;
+      return std::make_unique<core::EcgridProtocol>(node, c);
+    }
+    case ProtocolKind::kGaf: {
+      protocols::GafConfig c = config.gaf;
+      c.locationHint = oracle;
+      c.endpointMode = gafEndpoint;
+      return std::make_unique<protocols::GafProtocol>(node, c);
+    }
+    case ProtocolKind::kFlooding: {
+      return std::make_unique<protocols::FloodingProtocol>(
+          node, protocols::FloodingConfig{});
+    }
+  }
+  ECGRID_CHECK(false, "unknown protocol kind");
+}
+
+}  // namespace
+
+ScenarioResult runScenario(const ScenarioConfig& config) {
+  ECGRID_REQUIRE(config.hostCount > 0, "need at least one host");
+  ECGRID_REQUIRE(config.duration > 0.0, "duration must be positive");
+
+  sim::Simulator simulator(config.seed);
+
+  net::NetworkConfig netConfig;
+  netConfig.gridCellSide = config.gridCellSide;
+  netConfig.channel.rangeMeters = config.radioRange;
+  netConfig.channel.bitrateBps = config.bitrateBps;
+  if (config.interferenceRangeFactor > 1.0) {
+    netConfig.channel.interferenceRangeMeters =
+        config.interferenceRangeFactor * config.radioRange;
+  }
+  netConfig.paging.rangeMeters = config.radioRange;
+  net::Network network(simulator, netConfig);
+
+  mobility::RandomWaypointConfig rwp;
+  rwp.fieldWidth = config.fieldSize;
+  rwp.fieldHeight = config.fieldSize;
+  rwp.maxSpeed = config.maxSpeed;
+  rwp.pauseTime = config.pauseTime;
+
+  const bool gafRun = config.protocol == ProtocolKind::kGaf;
+  const int endpointCount =
+      gafRun && config.gafModelOne ? config.gafEndpointCount : 0;
+  const int totalHosts = config.hostCount + endpointCount;
+
+  std::vector<net::Node*> metered;
+  std::vector<net::NodeId> endpointIds;
+  for (int i = 0; i < totalHosts; ++i) {
+    const bool isEndpoint = i >= config.hostCount;
+    net::NodeConfig nodeConfig;
+    nodeConfig.id = i;
+    nodeConfig.batteryCapacityJ = config.batteryCapacityJ;
+    nodeConfig.infiniteBattery = isEndpoint;
+    auto mobility = std::make_unique<mobility::RandomWaypoint>(
+        rwp, simulator.rng().stream("mobility", i));
+    net::Node& node = network.addNode(std::move(mobility), nodeConfig);
+    node.setProtocol(makeProtocol(config, node, network, isEndpoint));
+    if (isEndpoint) {
+      endpointIds.push_back(node.id());
+    } else {
+      metered.push_back(&node);
+    }
+  }
+
+  stats::EnergyRecorder recorder(network, config.sampleInterval, metered);
+  stats::PacketAccounting accounting;
+
+  traffic::FlowPlan plan;
+  plan.flowCount = config.flowCount;
+  plan.packetsPerSecond = config.packetsPerSecondPerFlow;
+  plan.payloadBytes = config.payloadBytes;
+  plan.startTime = config.trafficStart;
+  plan.stopTime = config.duration;
+  plan.eligibleEndpoints = endpointIds;  // empty unless GAF Model 1
+  traffic::FlowManager flows(network, plan, accounting,
+                             simulator.rng().stream("flows"));
+
+  network.start();
+  simulator.run(config.duration);
+  recorder.sample();  // closing sample at the horizon
+
+  ScenarioResult result;
+  result.aliveFraction = recorder.aliveFraction();
+  result.aen = recorder.aen();
+  result.awakeFraction = recorder.awakeFraction();
+  result.deathTimes = recorder.deathTimes();
+  result.firstDeath = recorder.firstDeath();
+  result.networkDown = recorder.aliveFraction().firstTimeBelow(0.0);
+  result.packetsSent = accounting.packetsSent();
+  result.packetsReceived = accounting.packetsReceived();
+  result.deliveryRate = accounting.deliveryRate();
+  result.meanLatencySeconds = accounting.meanLatency();
+  result.p50LatencySeconds = accounting.latencyPercentile(50.0);
+  result.p95LatencySeconds = accounting.latencyPercentile(95.0);
+  result.latencies = accounting.latencies();
+  result.framesTransmitted = network.channel().framesTransmitted();
+  result.pagesSent = network.paging().pagesSent();
+  result.eventsExecuted = simulator.eventsExecuted();
+
+  for (auto& nodePtr : network.nodes()) {
+    result.macFramesSent += nodePtr->mac().framesSent();
+    result.macFramesDropped += nodePtr->mac().framesDropped();
+    result.macRetransmissions += nodePtr->mac().retransmissions();
+    result.macAcksSkipped += nodePtr->mac().acksSkipped();
+    result.macAcksSent += nodePtr->mac().acksSent();
+    const protocols::RoutingStats* stats = nullptr;
+    if (auto* base = dynamic_cast<protocols::GridProtocolBase*>(
+            &nodePtr->protocol())) {
+      stats = &base->routingStats();
+    } else if (auto* gaf = dynamic_cast<protocols::GafProtocol*>(
+                   &nodePtr->protocol())) {
+      stats = &gaf->routingStats();
+    }
+    if (stats == nullptr) continue;
+    result.routing.dataOriginated += stats->dataOriginated;
+    result.routing.dataForwarded += stats->dataForwarded;
+    result.routing.dataDeliveredLocal += stats->dataDeliveredLocal;
+    result.routing.dataDropped += stats->dataDropped;
+    result.routing.rreqsSent += stats->rreqsSent;
+    result.routing.rrepsSent += stats->rrepsSent;
+    result.routing.rerrsSent += stats->rerrsSent;
+    result.routing.discoveriesStarted += stats->discoveriesStarted;
+    result.routing.discoveriesFailed += stats->discoveriesFailed;
+  }
+  return result;
+}
+
+}  // namespace ecgrid::harness

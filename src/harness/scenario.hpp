@@ -1,0 +1,115 @@
+// Scenario harness: builds and runs a complete paper experiment.
+//
+// A ScenarioConfig is a pure value describing one simulation run — field,
+// host population, mobility, traffic, protocol and its parameters, seed —
+// and runScenario() is a pure function from it to a ScenarioResult.
+// Defaults reproduce the paper's common setup (§4): 1000×1000 m field,
+// 2 Mbps / 250 m radios, d = 100 m grid, 500 J batteries, random waypoint,
+// 10 CBR flows of one 512 B packet per second.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ecgrid_protocol.hpp"
+#include "net/network.hpp"
+#include "protocols/common/grid_protocol_base.hpp"
+#include "protocols/gaf/gaf_protocol.hpp"
+#include "stats/packet_accounting.hpp"
+#include "stats/timeseries.hpp"
+
+namespace ecgrid::harness {
+
+enum class ProtocolKind {
+  kGrid,
+  kEcgrid,
+  kGaf,
+  kFlooding,
+};
+
+const char* toString(ProtocolKind kind);
+std::optional<ProtocolKind> protocolFromString(const std::string& name);
+
+struct ScenarioConfig {
+  ProtocolKind protocol = ProtocolKind::kEcgrid;
+
+  // population & field (paper §4)
+  int hostCount = 100;
+  double fieldSize = 1000.0;   ///< square field side, metres
+  double gridCellSide = 100.0;
+  double radioRange = 250.0;
+  double bitrateBps = 2e6;
+  double batteryCapacityJ = 500.0;
+
+  // mobility (random waypoint)
+  double maxSpeed = 1.0;   ///< m/s
+  double pauseTime = 0.0;  ///< s
+
+  // traffic
+  int flowCount = 10;
+  double packetsPerSecondPerFlow = 1.0;
+  int payloadBytes = 512;
+  double trafficStart = 1.0;
+
+  // run control
+  double duration = 2000.0;
+  double sampleInterval = 10.0;
+  std::uint64_t seed = 1;
+
+  // GAF Model 1 (paper §4): ten extra infinite-energy endpoint hosts
+  // source/sink all traffic; the `hostCount` finite hosts only forward.
+  bool gafModelOne = true;
+  int gafEndpointCount = 10;
+
+  // protocol knobs (benches override for ablations)
+  core::EcgridConfig ecgrid;
+  protocols::GridProtocolConfig grid;
+  protocols::GafConfig gaf;
+
+  /// Interference ring as a multiple of the decode range (1.0 = pure
+  /// unit disk, the paper's model). See ChannelConfig.
+  double interferenceRangeFactor = 1.0;
+
+  /// When true, RREQ search areas are confined using a GPS location
+  /// oracle over the destination (the paper's location-aware assumption);
+  /// when false every discovery floods globally.
+  bool useLocationOracle = true;
+};
+
+struct ScenarioResult {
+  stats::TimeSeries aliveFraction;
+  stats::TimeSeries aen;
+  stats::TimeSeries awakeFraction;
+  std::vector<sim::Time> deathTimes;
+  sim::Time firstDeath = sim::kTimeNever;
+  /// Time the alive fraction reached zero (the paper's "network is down").
+  sim::Time networkDown = sim::kTimeNever;
+
+  std::uint64_t packetsSent = 0;
+  std::uint64_t packetsReceived = 0;
+  double deliveryRate = 1.0;
+  double meanLatencySeconds = 0.0;
+  double p50LatencySeconds = 0.0;
+  double p95LatencySeconds = 0.0;
+
+  std::uint64_t framesTransmitted = 0;  ///< MAC frames on the air
+  std::uint64_t pagesSent = 0;          ///< RAS pages
+  std::uint64_t eventsExecuted = 0;
+  std::uint64_t macFramesSent = 0;      ///< frames handed off successfully
+  std::uint64_t macFramesDropped = 0;   ///< MAC-level drops (all causes)
+  std::uint64_t macRetransmissions = 0; ///< ARQ retransmissions
+  std::uint64_t macAcksSent = 0;
+  std::uint64_t macAcksSkipped = 0;  ///< ACKs suppressed (radio busy)
+
+  /// Every delivered packet's end-to-end latency, seconds (unordered).
+  std::vector<double> latencies;
+
+  protocols::RoutingStats routing;  ///< summed over all hosts
+};
+
+/// Build, run, and tear down one simulation. Deterministic in `config`.
+ScenarioResult runScenario(const ScenarioConfig& config);
+
+}  // namespace ecgrid::harness

@@ -1,0 +1,236 @@
+#include "mac/csma.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace ecgrid::mac {
+
+namespace {
+constexpr const char* kTag = "mac";
+}
+
+CsmaMac::CsmaMac(sim::Simulator& sim, phy::Radio& radio, phy::Channel& channel,
+                 const CsmaConfig& config, sim::RngStream rng)
+    : sim_(sim),
+      radio_(radio),
+      channel_(channel),
+      config_(config),
+      rng_(std::move(rng)) {
+  ECGRID_REQUIRE(config.contentionWindowMin >= 1, "contention window >= 1");
+  ECGRID_REQUIRE(config.maxAccessAttempts >= 1, "need at least one attempt");
+  ECGRID_REQUIRE(config.retryLimit >= 0, "retry limit cannot be negative");
+  radio_.setTxCompleteCallback([this] { onTxComplete(); });
+  radio_.setFrameCallback(
+      [this](const net::Packet& frame) { onRadioFrame(frame); });
+  // NAV reservation: overheard unicasts keep neighbours quiet through the
+  // receiver's SIFS + ACK.
+  net::Packet ackSize;
+  ackSize.header = std::make_shared<AckHeader>(0);
+  radio_.setNavGuard(config_.sifsSeconds +
+                     channel_.frameAirtime(ackSize.bytes()) + 20e-6);
+}
+
+void CsmaMac::setReceiveCallback(std::function<void(const net::Packet&)> cb) {
+  upperReceive_ = std::move(cb);
+}
+
+void CsmaMac::setSendFailureCallback(
+    std::function<void(const net::Packet&)> cb) {
+  sendFailure_ = std::move(cb);
+}
+
+// --------------------------------------------------------------------------
+// receive path
+
+void CsmaMac::onRadioFrame(const net::Packet& frame) {
+  if (const auto* ack = frame.headerAs<AckHeader>()) {
+    if (awaitingAck_ && !queue_.empty() &&
+        queue_.front().packet.macSeq == ack->ackedSeq() &&
+        queue_.front().packet.macDst == frame.macSrc) {
+      awaitingAck_ = false;
+      ackTimer_.cancel();
+      finishFront(/*delivered=*/true);
+    }
+    return;
+  }
+
+  if (!net::isBroadcast(frame.macDst)) {
+    // Unicast for us: acknowledge, and deliver only the first copy.
+    sendAck(frame.macSrc, frame.macSeq);
+    auto key = std::make_pair(frame.macSrc, frame.macSeq);
+    if (!seen_.insert(key).second) return;  // ARQ duplicate
+    seenOrder_.push_back(key);
+    if (seenOrder_.size() > config_.dedupWindow) {
+      seen_.erase(seenOrder_.front());
+      seenOrder_.pop_front();
+    }
+  }
+  if (upperReceive_) upperReceive_(frame);
+}
+
+void CsmaMac::sendAck(net::NodeId to, std::uint64_t seq) {
+  net::Packet ack;
+  ack.macSrc = radio_.id();
+  ack.macDst = to;
+  ack.header = std::make_shared<AckHeader>(seq);
+  sim_.schedule(config_.sifsSeconds, [this, ack] {
+    // The ACK pre-empts normal traffic (SIFS < DIFS) but cannot interrupt
+    // a transmission already in progress — the data sender will simply
+    // retransmit in that (rare) case.
+    if (radio_.dead() || radio_.sleeping() ||
+        radio_.state() == phy::RadioState::kTx) {
+      ++acksSkipped_;
+      return;
+    }
+    ++acksSent_;
+    radio_.transmit(ack, channel_.frameAirtime(ack.bytes()));
+  });
+}
+
+// --------------------------------------------------------------------------
+// send path
+
+void CsmaMac::send(net::Packet packet) {
+  ECGRID_REQUIRE(packet.header != nullptr, "packet must carry a header");
+  if (radio_.dead() || radio_.sleeping()) {
+    ++framesDropped_;
+    return;
+  }
+  if (queue_.size() >= config_.queueLimit) {
+    ++framesDropped_;
+    ECGRID_LOG_DEBUG(kTag, "node " << radio_.id() << " queue overflow, drop "
+                                   << packet.header->name());
+    return;
+  }
+  packet.macSeq = nextMacSeq_++;
+  Pending pending;
+  pending.packet = std::move(packet);
+  pending.cw = config_.contentionWindowMin;
+  queue_.push_back(std::move(pending));
+  scheduleAccess();
+}
+
+void CsmaMac::clearQueue() {
+  framesDropped_ += queue_.size();
+  queue_.clear();
+  accessTimer_.cancel();
+  ackTimer_.cancel();
+  accessPending_ = false;
+  awaitingAck_ = false;
+}
+
+void CsmaMac::scheduleAccess() {
+  if (accessPending_ || transmitting_ || awaitingAck_ || queue_.empty()) {
+    return;
+  }
+  accessPending_ = true;
+  Pending& front = queue_.front();
+  double backoffSlots = static_cast<double>(rng_.uniformInt(0, front.cw - 1));
+  double delay = config_.difsSeconds + backoffSlots * config_.slotSeconds;
+  if (net::isBroadcast(front.packet.macDst) &&
+      config_.broadcastJitterSeconds > 0.0 && front.txAttempts == 0 &&
+      front.busyRetries == 0) {
+    delay += rng_.uniform(0.0, config_.broadcastJitterSeconds);
+  }
+  accessTimer_ = sim_.schedule(delay, [this] { tryTransmit(); });
+}
+
+void CsmaMac::tryTransmit() {
+  accessPending_ = false;
+  if (queue_.empty() || transmitting_ || awaitingAck_) return;
+  if (radio_.dead() || radio_.sleeping()) {
+    clearQueue();
+    return;
+  }
+  Pending& front = queue_.front();
+  if (radio_.mediumBusy() || radio_.mediumIdleAt() > sim_.now()) {
+    if (++front.busyRetries >= config_.maxAccessAttempts) {
+      ECGRID_LOG_DEBUG(kTag, "node " << radio_.id()
+                                     << " exceeded access attempts, drop "
+                                     << front.packet.header->name());
+      finishFront(/*delivered=*/false);
+      return;
+    }
+    // DCF-style deferral: wait out the sensed activity, then contend with
+    // a fresh DIFS + backoff (802.11 freezes backoff while busy; deferring
+    // to the estimated idle point is the event-driven equivalent).
+    accessPending_ = true;
+    double wait = radio_.mediumIdleAt() - sim_.now();
+    if (wait < 0.0) wait = 0.0;
+    double backoffSlots =
+        static_cast<double>(rng_.uniformInt(0, front.cw - 1));
+    accessTimer_ = sim_.schedule(
+        wait + config_.difsSeconds + backoffSlots * config_.slotSeconds,
+        [this] { tryTransmit(); });
+    return;
+  }
+  transmitting_ = true;
+  ++front.txAttempts;
+  if (front.txAttempts > 1) ++retransmissions_;
+  radio_.transmit(front.packet, channel_.frameAirtime(front.packet.bytes()));
+}
+
+void CsmaMac::onTxComplete() {
+  if (!transmitting_) {
+    // An ACK we sent finished; resume normal access if work is queued.
+    if (!radio_.sleeping() && !radio_.dead()) scheduleAccess();
+    return;
+  }
+  transmitting_ = false;
+  if (radio_.sleeping() || radio_.dead()) {
+    clearQueue();
+    return;
+  }
+  ECGRID_CHECK(!queue_.empty(), "tx completed with empty queue");
+  Pending& front = queue_.front();
+  if (net::isBroadcast(front.packet.macDst)) {
+    finishFront(/*delivered=*/true);
+    return;
+  }
+  awaitingAck_ = true;
+  ackTimer_ =
+      sim_.schedule(config_.ackTimeoutSeconds, [this] { onAckTimeout(); });
+}
+
+void CsmaMac::onAckTimeout() {
+  if (!awaitingAck_) return;
+  awaitingAck_ = false;
+  ECGRID_CHECK(!queue_.empty(), "ack timeout with empty queue");
+  Pending& front = queue_.front();
+  ECGRID_LOG_TRACE(kTag, "node " << radio_.id() << " ack-timeout "
+                                 << front.packet.header->name() << " to "
+                                 << front.packet.macDst << " attempt "
+                                 << front.txAttempts);
+  if (front.txAttempts > config_.retryLimit) {
+    ECGRID_LOG_DEBUG(kTag, "node " << radio_.id() << " retry limit, drop "
+                                   << front.packet.header->name() << " to "
+                                   << front.packet.macDst);
+    finishFront(/*delivered=*/false);
+    return;
+  }
+  front.cw = std::min(front.cw * 2, config_.contentionWindowMax);
+  scheduleAccess();
+}
+
+void CsmaMac::finishFront(bool delivered) {
+  ECGRID_CHECK(!queue_.empty(), "finishing with empty queue");
+  net::Packet failed;
+  bool notify = false;
+  if (delivered) {
+    ++framesSent_;
+  } else {
+    ++framesDropped_;
+    if (sendFailure_ && !net::isBroadcast(queue_.front().packet.macDst)) {
+      failed = queue_.front().packet;
+      notify = true;
+    }
+  }
+  queue_.pop_front();
+  // Notify after popping: the callback may re-route and re-enqueue.
+  if (notify) sendFailure_(failed);
+  scheduleAccess();
+}
+
+}  // namespace ecgrid::mac

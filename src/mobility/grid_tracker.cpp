@@ -1,0 +1,43 @@
+#include "mobility/grid_tracker.hpp"
+
+#include "util/error.hpp"
+
+namespace ecgrid::mobility {
+
+GridTracker::GridTracker(sim::Simulator& sim, const geo::GridMap& grid,
+                         MobilityModel& model,
+                         CellChangeCallback onCellChanged)
+    : sim_(sim),
+      grid_(grid),
+      model_(model),
+      onCellChanged_(std::move(onCellChanged)) {
+  ECGRID_REQUIRE(onCellChanged_ != nullptr, "cell-change callback required");
+  cell_ = grid_.cellOf(model_.positionAt(sim_.now()));
+  arm();
+}
+
+void GridTracker::stop() {
+  stopped_ = true;
+  pending_.cancel();
+}
+
+void GridTracker::arm() {
+  if (stopped_) return;
+  sim::Time next = model_.nextPossibleCellExit(grid_, sim_.now());
+  if (next >= sim::kTimeNever) return;  // static host: nothing to track
+  pending_ = sim_.scheduleAt(next, [this] { onTimer(); });
+}
+
+void GridTracker::onTimer() {
+  if (stopped_) return;
+  geo::GridCoord now = grid_.cellOf(model_.positionAt(sim_.now()));
+  if (now != cell_) {
+    geo::GridCoord old = cell_;
+    cell_ = now;
+    onCellChanged_(old, now);
+    if (stopped_) return;  // callback may have stopped us (host died)
+  }
+  arm();
+}
+
+}  // namespace ecgrid::mobility

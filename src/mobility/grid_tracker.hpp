@@ -1,0 +1,54 @@
+// Event-driven grid-crossing detection.
+//
+// Because mobility is piecewise linear, the exact moment a host leaves its
+// current cell is computable: it is the sooner of (a) the straight-line
+// boundary crossing at current velocity and (b) the next velocity change
+// (after which we recompute). GridTracker schedules a simulator event at
+// that moment, fires `onCellChanged(old, new)` when the cell really did
+// change, and re-arms. This gives protocols exact "host entered/left grid"
+// notifications with zero polling — the discrete-event analogue of the
+// paper's GPS-driven dwell estimation.
+#pragma once
+
+#include <functional>
+
+#include "geo/grid.hpp"
+#include "mobility/mobility_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace ecgrid::mobility {
+
+class GridTracker {
+ public:
+  using CellChangeCallback =
+      std::function<void(const geo::GridCoord& from, const geo::GridCoord& to)>;
+
+  /// Starts tracking immediately. `model` and `sim` must outlive this.
+  GridTracker(sim::Simulator& sim, const geo::GridMap& grid,
+              MobilityModel& model, CellChangeCallback onCellChanged);
+
+  ~GridTracker() { stop(); }
+
+  GridTracker(const GridTracker&) = delete;
+  GridTracker& operator=(const GridTracker&) = delete;
+
+  /// Cell the host was last observed in.
+  const geo::GridCoord& currentCell() const { return cell_; }
+
+  /// Cancels the pending check; no further callbacks fire.
+  void stop();
+
+ private:
+  void arm();
+  void onTimer();
+
+  sim::Simulator& sim_;
+  geo::GridMap grid_;
+  MobilityModel& model_;
+  CellChangeCallback onCellChanged_;
+  geo::GridCoord cell_;
+  sim::EventHandle pending_;
+  bool stopped_ = false;
+};
+
+}  // namespace ecgrid::mobility

@@ -1,0 +1,63 @@
+#include "mobility/mobility_model.hpp"
+
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace ecgrid::mobility {
+
+namespace {
+// Nudges boundary-exit timers strictly past the crossing so the follow-up
+// position query lands inside the next cell, not on the shared edge.
+constexpr double kBoundaryEpsilon = 1e-6;
+}  // namespace
+
+sim::Time MobilityModel::nextPossibleCellExit(const geo::GridMap& grid,
+                                              sim::Time t) {
+  geo::Vec2 pos = positionAt(t);
+  geo::Vec2 vel = velocityAt(t);
+  double exit = grid.timeToExitCell(pos, vel);
+  sim::Time byMotion =
+      exit == std::numeric_limits<double>::infinity() ? sim::kTimeNever
+                                                      : t + exit;
+  sim::Time byChange = nextChangeTime(t);
+  sim::Time next = byMotion < byChange ? byMotion : byChange;
+  if (next >= sim::kTimeNever) return sim::kTimeNever;
+  if (next <= t) next = t;
+  return next + kBoundaryEpsilon;
+}
+
+ScriptedMobility::ScriptedMobility(std::vector<Leg> legs)
+    : legs_(std::move(legs)) {
+  ECGRID_REQUIRE(!legs_.empty(), "scripted mobility needs at least one leg");
+  ECGRID_REQUIRE(legs_.front().start == 0.0, "first leg must start at t=0");
+  for (std::size_t i = 1; i < legs_.size(); ++i) {
+    ECGRID_REQUIRE(legs_[i].start > legs_[i - 1].start,
+                   "legs must be strictly ordered by start time");
+  }
+}
+
+const ScriptedMobility::Leg& ScriptedMobility::legAt(sim::Time t) const {
+  // Linear scan is fine: scripted trajectories are short test fixtures.
+  const Leg* current = &legs_.front();
+  for (const Leg& leg : legs_) {
+    if (leg.start <= t) current = &leg;
+  }
+  return *current;
+}
+
+geo::Vec2 ScriptedMobility::positionAt(sim::Time t) {
+  const Leg& leg = legAt(t);
+  return leg.origin + leg.velocity * (t - leg.start);
+}
+
+geo::Vec2 ScriptedMobility::velocityAt(sim::Time t) { return legAt(t).velocity; }
+
+sim::Time ScriptedMobility::nextChangeTime(sim::Time t) {
+  for (const Leg& leg : legs_) {
+    if (leg.start > t) return leg.start;
+  }
+  return sim::kTimeNever;
+}
+
+}  // namespace ecgrid::mobility

@@ -1,0 +1,78 @@
+// Host mobility.
+//
+// Models are piecewise-linear: a host moves with constant velocity between
+// "motion changes" (waypoint reached, pause over, direction change). The
+// simulator exploits this to schedule *exact* grid-boundary-crossing events
+// instead of polling positions — see GridTracker.
+//
+// The paper equips every host with GPS, so protocols may read position and
+// velocity directly; that is exactly the interface exposed here.
+#pragma once
+
+#include <vector>
+
+#include "geo/grid.hpp"
+#include "geo/vec2.hpp"
+#include "sim/time.hpp"
+
+namespace ecgrid::mobility {
+
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+
+  /// Position at time `t`. `t` must be non-decreasing across calls (models
+  /// generate their trajectory lazily).
+  virtual geo::Vec2 positionAt(sim::Time t) = 0;
+
+  /// Velocity during the motion leg containing `t` (zero while paused).
+  virtual geo::Vec2 velocityAt(sim::Time t) = 0;
+
+  /// Absolute time of the next velocity change at or after `t`
+  /// (kTimeNever for models that never change).
+  virtual sim::Time nextChangeTime(sim::Time t) = 0;
+
+  /// Estimated dwell: earliest future time at which the host *could* leave
+  /// its current grid cell — either by crossing the boundary on its
+  /// current leg or because its velocity changes first. This is the
+  /// paper's sleep-timer estimate ("depends on the location and velocity
+  /// of the host", §3.2). Guaranteed strictly greater than `t`.
+  sim::Time nextPossibleCellExit(const geo::GridMap& grid, sim::Time t);
+};
+
+/// A host that never moves; used by tests and static-deployment examples.
+class StaticMobility final : public MobilityModel {
+ public:
+  explicit StaticMobility(geo::Vec2 position) : position_(position) {}
+
+  geo::Vec2 positionAt(sim::Time) override { return position_; }
+  geo::Vec2 velocityAt(sim::Time) override { return {}; }
+  sim::Time nextChangeTime(sim::Time) override { return sim::kTimeNever; }
+
+ private:
+  geo::Vec2 position_;
+};
+
+/// Scripted piecewise-linear motion for deterministic tests: the host
+/// follows a fixed list of (startTime, startPos, velocity) legs.
+class ScriptedMobility final : public MobilityModel {
+ public:
+  struct Leg {
+    sim::Time start = 0.0;
+    geo::Vec2 origin;
+    geo::Vec2 velocity;
+  };
+
+  /// Legs must be sorted by start time; the first must start at 0.
+  explicit ScriptedMobility(std::vector<Leg> legs);
+
+  geo::Vec2 positionAt(sim::Time t) override;
+  geo::Vec2 velocityAt(sim::Time t) override;
+  sim::Time nextChangeTime(sim::Time t) override;
+
+ private:
+  const Leg& legAt(sim::Time t) const;
+  std::vector<Leg> legs_;
+};
+
+}  // namespace ecgrid::mobility

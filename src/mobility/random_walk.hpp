@@ -1,0 +1,46 @@
+// Random-walk (random-direction) mobility.
+//
+// Not used by the paper's headline figures, but provided (a) as an extra
+// stressor for tests — it produces many more grid crossings per second
+// than random waypoint at the same speed — and (b) for the mobility
+// ablation benches. The host picks a uniformly random heading and walks at
+// constant speed for a fixed epoch, reflecting off the field edges.
+#pragma once
+
+#include "mobility/mobility_model.hpp"
+#include "sim/rng.hpp"
+
+namespace ecgrid::mobility {
+
+struct RandomWalkConfig {
+  double fieldWidth = 1000.0;
+  double fieldHeight = 1000.0;
+  double speed = 1.0;        ///< m/s, constant
+  double epoch = 20.0;       ///< seconds per heading
+};
+
+class RandomWalk final : public MobilityModel {
+ public:
+  RandomWalk(const RandomWalkConfig& config, sim::RngStream rng);
+
+  geo::Vec2 positionAt(sim::Time t) override;
+  geo::Vec2 velocityAt(sim::Time t) override;
+  sim::Time nextChangeTime(sim::Time t) override;
+
+ private:
+  struct Leg {
+    sim::Time start = 0.0;
+    sim::Time end = 0.0;
+    geo::Vec2 origin;
+    geo::Vec2 velocity;
+  };
+
+  void advanceTo(sim::Time t);
+  Leg makeLeg(sim::Time start, const geo::Vec2& from);
+
+  RandomWalkConfig config_;
+  sim::RngStream rng_;
+  Leg current_;
+};
+
+}  // namespace ecgrid::mobility

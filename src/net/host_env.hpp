@@ -1,0 +1,83 @@
+// The per-host environment a routing protocol runs against.
+//
+// HostEnv abstracts everything the paper's protocol stack assumes a mobile
+// host has: a GPS fix (position/velocity/grid), a transceiver it may put
+// to sleep, an RAS pager that can wake *other* hosts by ID or a whole grid
+// by its broadcast sequence, a battery with the paper's three-level
+// classification, and an application to deliver data to. Protocols depend
+// only on this interface, so GRID / ECGRID / GAF are interchangeable
+// plug-ins and unit tests can run them against a scripted fake host.
+#pragma once
+
+#include <cstdint>
+
+#include "energy/battery.hpp"
+#include "geo/grid.hpp"
+#include "geo/vec2.hpp"
+#include "net/link_layer.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace ecgrid::net {
+
+/// RAS paging signal kinds (paper §2–§3): a host's paging sequence is its
+/// unique ID; a grid's "broadcast sequence" is its coordinate.
+enum class PageKind {
+  kHost,  ///< wake one specific host
+  kGrid,  ///< wake every host in a grid (gateway election / RETIRE)
+};
+
+struct PageSignal {
+  PageKind kind = PageKind::kHost;
+  NodeId host = kBroadcastId;   ///< target host (kind == kHost)
+  geo::GridCoord grid;          ///< target grid (kind == kGrid)
+  NodeId pagedBy = kBroadcastId;
+};
+
+/// Identifies one application-layer data packet for end-to-end accounting.
+struct DataTag {
+  std::uint64_t flowId = 0;
+  std::uint64_t sequence = 0;
+  sim::Time sentAt = sim::kTimeZero;
+};
+
+class HostEnv {
+ public:
+  virtual ~HostEnv() = default;
+
+  virtual sim::Simulator& simulator() = 0;
+  virtual NodeId id() const = 0;
+
+  // --- GPS view -----------------------------------------------------------
+  virtual const geo::GridMap& gridMap() const = 0;
+  virtual geo::Vec2 position() = 0;
+  virtual geo::Vec2 velocity() = 0;
+  virtual geo::GridCoord cell() = 0;
+  /// Earliest future time the host could leave its current cell — the
+  /// paper's sleep-timer ("dwell") estimate.
+  virtual sim::Time nextPossibleCellExit() = 0;
+
+  // --- transceiver --------------------------------------------------------
+  virtual LinkLayer& link() = 0;
+  /// Turn the transceiver off (sleep-mode power). Pending MAC queue is
+  /// dropped; the RAS pager keeps listening.
+  virtual void sleepRadio() = 0;
+  /// Bring the transceiver back to idle/receive.
+  virtual void wakeRadio() = 0;
+  virtual bool radioSleeping() const = 0;
+
+  // --- RAS pager ----------------------------------------------------------
+  virtual void pageHost(NodeId target) = 0;
+  virtual void pageGrid(const geo::GridCoord& grid) = 0;
+
+  // --- battery ------------------------------------------------------------
+  virtual energy::BatteryLevel batteryLevel() = 0;
+  virtual double batteryRatio() = 0;
+  virtual bool alive() const = 0;
+
+  // --- application --------------------------------------------------------
+  virtual void deliverToApp(NodeId appSrc, const DataTag& tag,
+                            int payloadBytes) = 0;
+};
+
+}  // namespace ecgrid::net

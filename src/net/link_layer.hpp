@@ -1,0 +1,37 @@
+// Link-layer service interface offered by the MAC to routing protocols.
+#pragma once
+
+#include <functional>
+
+#include "net/packet.hpp"
+
+namespace ecgrid::net {
+
+class LinkLayer {
+ public:
+  virtual ~LinkLayer() = default;
+
+  /// Queue a frame for transmission. Broadcast frames (macDst ==
+  /// kBroadcastId) are delivered best-effort to every in-range, awake
+  /// radio; unicast frames are likewise best-effort (the protocols in
+  /// this repo, like the paper's, run over an unacknowledged MAC and
+  /// recover at the routing layer).
+  virtual void send(Packet packet) = 0;
+
+  /// Frames decoded by the radio are handed to this callback.
+  virtual void setReceiveCallback(std::function<void(const Packet&)> cb) = 0;
+
+  /// Invoked when a unicast frame is dropped after exhausting ARQ retries
+  /// or channel-access attempts — the link-layer failure feedback AODV
+  /// derivatives use to trigger route repair.
+  virtual void setSendFailureCallback(
+      std::function<void(const Packet&)> cb) = 0;
+
+  /// Number of frames waiting (including the one in flight, if any).
+  virtual std::size_t queueDepth() const = 0;
+
+  /// Drop all queued frames (used when a host goes to sleep or dies).
+  virtual void clearQueue() = 0;
+};
+
+}  // namespace ecgrid::net

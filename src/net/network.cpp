@@ -1,0 +1,42 @@
+#include "net/network.hpp"
+
+#include "util/error.hpp"
+
+namespace ecgrid::net {
+
+Network::Network(sim::Simulator& sim, const NetworkConfig& config)
+    : sim_(sim),
+      grid_(config.gridCellSide),
+      channel_(sim, config.channel),
+      paging_(sim, config.paging) {}
+
+Node& Network::addNode(std::unique_ptr<mobility::MobilityModel> mobility,
+                       const NodeConfig& config) {
+  for (const auto& existing : nodes_) {
+    ECGRID_REQUIRE(existing->id() != config.id, "duplicate node id");
+  }
+  nodes_.push_back(std::make_unique<Node>(sim_, grid_, channel_, paging_,
+                                          std::move(mobility), config));
+  return *nodes_.back();
+}
+
+void Network::start() {
+  for (auto& node : nodes_) node->start();
+}
+
+Node* Network::findNode(NodeId id) {
+  for (auto& node : nodes_) {
+    if (node->id() == id) return node.get();
+  }
+  return nullptr;
+}
+
+std::size_t Network::aliveCount() const {
+  std::size_t alive = 0;
+  for (const auto& node : nodes_) {
+    if (node->alive()) ++alive;
+  }
+  return alive;
+}
+
+}  // namespace ecgrid::net

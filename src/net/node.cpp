@@ -1,0 +1,123 @@
+#include "net/node.hpp"
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace ecgrid::net {
+
+namespace {
+constexpr const char* kTag = "node";
+}
+
+Node::Node(sim::Simulator& sim, const geo::GridMap& grid,
+           phy::Channel& channel, phy::PagingChannel& paging,
+           std::unique_ptr<mobility::MobilityModel> mobility,
+           const NodeConfig& config)
+    : sim_(sim),
+      grid_(grid),
+      channel_(channel),
+      paging_(paging),
+      config_(config),
+      battery_(config.infiniteBattery
+                   ? energy::Battery::infinite()
+                   : energy::Battery(config.batteryCapacityJ)),
+      mobility_(std::move(mobility)) {
+  ECGRID_REQUIRE(mobility_ != nullptr, "node needs a mobility model");
+  ECGRID_REQUIRE(config.id >= 0, "node ids must be non-negative");
+
+  radio_ = std::make_unique<phy::Radio>(sim_, battery_, config_.powerProfile,
+                                        config_.id);
+  radio_->attachChannel(&channel_);
+  radio_->setDeathCallback([this] { onDeath(); });
+
+  mac_ = std::make_unique<mac::CsmaMac>(
+      sim_, *radio_, channel_, config_.macConfig,
+      sim_.rng().stream("mac", config_.id));
+
+  channelAttachment_ =
+      channel_.attach(radio_.get(), [this] { return position(); });
+  pagingAttachment_ = paging_.attach(
+      config_.id, [this] { return position(); }, [this] { return cell(); },
+      [this](const PageSignal& signal) {
+        if (!alive()) return;
+        // The RAS powers the transceiver up before the protocol reacts.
+        wakeRadio();
+        if (protocol_) protocol_->onPaged(signal);
+      });
+
+  mac_->setReceiveCallback([this](const Packet& packet) {
+    if (protocol_ && alive()) protocol_->onFrame(packet);
+  });
+  mac_->setSendFailureCallback([this](const Packet& packet) {
+    if (protocol_ && alive()) protocol_->onSendFailed(packet);
+  });
+
+  tracker_ = std::make_unique<mobility::GridTracker>(
+      sim_, grid_, *mobility_,
+      [this](const geo::GridCoord& from, const geo::GridCoord& to) {
+        if (protocol_ && alive()) protocol_->onCellChanged(from, to);
+      });
+}
+
+Node::~Node() = default;
+
+void Node::setProtocol(std::unique_ptr<RoutingProtocol> protocol) {
+  ECGRID_REQUIRE(protocol != nullptr, "protocol must not be null");
+  protocol_ = std::move(protocol);
+}
+
+RoutingProtocol& Node::protocol() {
+  ECGRID_CHECK(protocol_ != nullptr, "protocol not installed");
+  return *protocol_;
+}
+
+void Node::start() {
+  ECGRID_CHECK(protocol_ != nullptr, "start() before setProtocol()");
+  protocol_->start();
+}
+
+void Node::sendFromApp(NodeId destination, int payloadBytes,
+                       const DataTag& tag) {
+  if (!alive()) return;
+  protocol_->sendData(destination, payloadBytes, tag);
+}
+
+void Node::setAppReceiveCallback(
+    std::function<void(NodeId, const DataTag&, int)> cb) {
+  onAppReceive_ = std::move(cb);
+}
+
+void Node::setDeathCallback(std::function<void(NodeId, sim::Time)> cb) {
+  onDeathCb_ = std::move(cb);
+}
+
+void Node::sleepRadio() {
+  mac_->clearQueue();
+  radio_->sleep();
+}
+
+void Node::wakeRadio() { radio_->wake(); }
+
+void Node::pageHost(NodeId target) {
+  paging_.pageHost(config_.id, position(), target);
+}
+
+void Node::pageGrid(const geo::GridCoord& gridCoord) {
+  paging_.pageGrid(config_.id, position(), gridCoord);
+}
+
+void Node::deliverToApp(NodeId appSrc, const DataTag& tag, int payloadBytes) {
+  if (onAppReceive_) onAppReceive_(appSrc, tag, payloadBytes);
+}
+
+void Node::onDeath() {
+  ECGRID_LOG_INFO(kTag, "node " << config_.id << " died at t=" << sim_.now());
+  tracker_->stop();
+  mac_->clearQueue();
+  channel_.detach(channelAttachment_);
+  paging_.detach(pagingAttachment_);
+  if (protocol_) protocol_->onShutdown();
+  if (onDeathCb_) onDeathCb_(config_.id, sim_.now());
+}
+
+}  // namespace ecgrid::net

@@ -1,0 +1,121 @@
+// A mobile host: battery + radio + MAC + RAS pager + GPS + routing agent.
+//
+// Node implements HostEnv, the environment its RoutingProtocol plug-in
+// runs against, and owns the glue: it forwards decoded frames to the
+// protocol, GPS cell crossings to the protocol, RAS pages to the protocol
+// (waking the radio first), and battery death to everyone.
+//
+// Nodes must outlive the simulation run: in-flight channel deliveries
+// hold raw pointers to their radios (a dead radio simply ignores them).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "energy/battery.hpp"
+#include "energy/power_profile.hpp"
+#include "geo/grid.hpp"
+#include "mac/csma.hpp"
+#include "mobility/grid_tracker.hpp"
+#include "mobility/mobility_model.hpp"
+#include "net/host_env.hpp"
+#include "net/routing_protocol.hpp"
+#include "phy/channel.hpp"
+#include "phy/paging.hpp"
+#include "phy/radio.hpp"
+#include "sim/simulator.hpp"
+
+namespace ecgrid::net {
+
+struct NodeConfig {
+  NodeId id = 0;
+  double batteryCapacityJ = 500.0;  ///< paper §4 initial energy
+  bool infiniteBattery = false;     ///< GAF "Model 1" endpoints
+  energy::PowerProfile powerProfile = energy::PowerProfile::paperDefaults();
+  mac::CsmaConfig macConfig;
+};
+
+class Node final : public HostEnv {
+ public:
+  Node(sim::Simulator& sim, const geo::GridMap& grid, phy::Channel& channel,
+       phy::PagingChannel& paging,
+       std::unique_ptr<mobility::MobilityModel> mobility,
+       const NodeConfig& config);
+
+  ~Node() override;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Install the routing agent. Must happen before start().
+  void setProtocol(std::unique_ptr<RoutingProtocol> protocol);
+  RoutingProtocol& protocol();
+
+  /// Called once when the simulation begins.
+  void start();
+
+  /// Application entry point (traffic sources call this).
+  void sendFromApp(NodeId destination, int payloadBytes, const DataTag& tag);
+
+  /// Application exit point: fires when the routing layer delivers data
+  /// addressed to this host.
+  void setAppReceiveCallback(
+      std::function<void(NodeId src, const DataTag&, int bytes)> cb);
+
+  /// Fires once when the battery empties.
+  void setDeathCallback(std::function<void(NodeId, sim::Time)> cb);
+
+  // --- HostEnv ------------------------------------------------------------
+  sim::Simulator& simulator() override { return sim_; }
+  NodeId id() const override { return config_.id; }
+  const geo::GridMap& gridMap() const override { return grid_; }
+  geo::Vec2 position() override { return mobility_->positionAt(sim_.now()); }
+  geo::Vec2 velocity() override { return mobility_->velocityAt(sim_.now()); }
+  geo::GridCoord cell() override { return grid_.cellOf(position()); }
+  sim::Time nextPossibleCellExit() override {
+    return mobility_->nextPossibleCellExit(grid_, sim_.now());
+  }
+  LinkLayer& link() override { return *mac_; }
+  void sleepRadio() override;
+  void wakeRadio() override;
+  bool radioSleeping() const override { return radio_->sleeping(); }
+  void pageHost(NodeId target) override;
+  void pageGrid(const geo::GridCoord& gridCoord) override;
+  energy::BatteryLevel batteryLevel() override {
+    return battery_.level(sim_.now());
+  }
+  double batteryRatio() override { return battery_.remainingRatio(sim_.now()); }
+  bool alive() const override { return !radio_->dead(); }
+  void deliverToApp(NodeId appSrc, const DataTag& tag,
+                    int payloadBytes) override;
+
+  // --- introspection for stats/tests --------------------------------------
+  energy::Battery& batteryRef() { return battery_; }
+  phy::Radio& radio() { return *radio_; }
+  mac::CsmaMac& mac() { return *mac_; }
+  mobility::MobilityModel& mobilityModel() { return *mobility_; }
+  const NodeConfig& config() const { return config_; }
+
+ private:
+  void onDeath();
+
+  sim::Simulator& sim_;
+  geo::GridMap grid_;
+  phy::Channel& channel_;
+  phy::PagingChannel& paging_;
+  NodeConfig config_;
+
+  energy::Battery battery_;
+  std::unique_ptr<mobility::MobilityModel> mobility_;
+  std::unique_ptr<phy::Radio> radio_;
+  std::unique_ptr<mac::CsmaMac> mac_;
+  std::unique_ptr<mobility::GridTracker> tracker_;
+  std::unique_ptr<RoutingProtocol> protocol_;
+
+  std::size_t channelAttachment_ = 0;
+  std::size_t pagingAttachment_ = 0;
+
+  std::function<void(NodeId, const DataTag&, int)> onAppReceive_;
+  std::function<void(NodeId, sim::Time)> onDeathCb_;
+};
+
+}  // namespace ecgrid::net

@@ -1,0 +1,76 @@
+// Packets and protocol headers.
+//
+// A Packet is a MAC frame: link-layer source/destination plus one typed
+// header object (which includes any payload size accounting). Headers are
+// immutable and shared: broadcasting to twenty neighbours enqueues twenty
+// Packet values pointing at one header allocation.
+//
+// Sizes are byte-accurate because control overhead *is* the experiment:
+// the paper attributes ECGRID's lifetime gap to GAF entirely to HELLO
+// traffic, so HELLO/RREQ/RREP/RETIRE bytes must cost realistic airtime
+// and therefore realistic transmit/receive energy.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace ecgrid::net {
+
+/// Host identifier (the paper's unique host ID — an IP or MAC address;
+/// also the host's RAS paging sequence).
+using NodeId = std::int32_t;
+
+/// Link-layer broadcast address.
+inline constexpr NodeId kBroadcastId = -1;
+
+inline constexpr bool isBroadcast(NodeId id) { return id == kBroadcastId; }
+
+/// 802.11-style MAC framing overhead added to every header's bytes().
+inline constexpr int kMacOverheadBytes = 34;
+
+/// Base class for all protocol headers. Concrete headers live with the
+/// protocol that owns them (protocols/common, core, protocols/gaf).
+class Header {
+ public:
+  virtual ~Header() = default;
+
+  /// Wire size of this header plus any payload it carries, in bytes,
+  /// excluding MAC framing.
+  virtual int bytes() const = 0;
+
+  /// Short name for logs ("HELLO", "RREQ", ...).
+  virtual const char* name() const = 0;
+
+  /// One-line human-readable rendering for trace logs.
+  virtual std::string describe() const { return name(); }
+};
+
+struct Packet {
+  NodeId macSrc = kBroadcastId;
+  NodeId macDst = kBroadcastId;
+  std::shared_ptr<const Header> header;
+
+  /// Unique id assigned by the channel on first transmission; copies made
+  /// for each receiver share it, so traces can correlate deliveries.
+  std::uint64_t uid = 0;
+
+  /// Sender-local MAC sequence number. Stable across ARQ retransmissions
+  /// of the same frame; receivers use (macSrc, macSeq) to acknowledge and
+  /// to suppress duplicate deliveries.
+  std::uint64_t macSeq = 0;
+
+  /// How many times the routing layer has re-routed this frame after a
+  /// link-layer delivery failure; bounds repair loops.
+  int routeRetries = 0;
+
+  int bytes() const { return kMacOverheadBytes + header->bytes(); }
+
+  /// Typed view of the header; nullptr when it is some other type.
+  template <typename H>
+  const H* headerAs() const {
+    return dynamic_cast<const H*>(header.get());
+  }
+};
+
+}  // namespace ecgrid::net

@@ -1,0 +1,76 @@
+#include "phy/channel.hpp"
+
+#include <cmath>
+
+#include "phy/radio.hpp"
+#include "util/error.hpp"
+
+namespace ecgrid::phy {
+
+Channel::Channel(sim::Simulator& sim, const ChannelConfig& config)
+    : sim_(sim), config_(config) {
+  ECGRID_REQUIRE(config.rangeMeters > 0.0, "range must be positive");
+  ECGRID_REQUIRE(config.bitrateBps > 0.0, "bitrate must be positive");
+}
+
+sim::Time Channel::frameAirtime(int bytes) const {
+  ECGRID_REQUIRE(bytes > 0, "frame must have positive size");
+  return config_.preambleSeconds + bytes * 8.0 / config_.bitrateBps;
+}
+
+std::size_t Channel::attach(Radio* radio, std::function<geo::Vec2()> position) {
+  ECGRID_REQUIRE(radio != nullptr, "radio required");
+  ECGRID_REQUIRE(position != nullptr, "position provider required");
+  attachments_.push_back(Attachment{radio, std::move(position)});
+  return attachments_.size() - 1;
+}
+
+void Channel::detach(std::size_t attachmentId) {
+  ECGRID_REQUIRE(attachmentId < attachments_.size(), "bad attachment id");
+  attachments_[attachmentId].radio = nullptr;
+  attachments_[attachmentId].position = nullptr;
+}
+
+void Channel::transmitFrom(Radio& sender, const net::Packet& packet,
+                           sim::Time duration) {
+  ++framesTransmitted_;
+  net::Packet stamped = packet;
+  stamped.uid = nextUid_++;
+
+  // Find the sender's attachment to read its position.
+  geo::Vec2 senderPos{};
+  bool found = false;
+  for (const Attachment& a : attachments_) {
+    if (a.radio == &sender) {
+      senderPos = a.position();
+      found = true;
+      break;
+    }
+  }
+  ECGRID_CHECK(found, "transmitting radio is not attached to this channel");
+
+  const double rangeSq = config_.rangeMeters * config_.rangeMeters;
+  const double interfSq =
+      config_.interferenceRangeMeters * config_.interferenceRangeMeters;
+  for (const Attachment& a : attachments_) {
+    if (a.radio == nullptr || a.radio == &sender) continue;
+    geo::Vec2 rxPos = a.position();
+    double distSq = senderPos.distanceSquaredTo(rxPos);
+    if (distSq > rangeSq && distSq > interfSq) continue;
+    double delay = std::sqrt(distSq) / config_.propagationSpeed;
+    Radio* receiver = a.radio;
+    if (distSq <= rangeSq) {
+      ++deliveriesScheduled_;
+      sim_.schedule(delay, [receiver, stamped, duration] {
+        receiver->beginReceive(stamped, duration);
+      });
+    } else {
+      // Inside the interference ring: energy arrives but cannot decode.
+      sim_.schedule(delay, [receiver, duration] {
+        receiver->beginInterference(duration);
+      });
+    }
+  }
+}
+
+}  // namespace ecgrid::phy

@@ -1,0 +1,79 @@
+// RAS — Remotely Activated Switch paging channel (paper §2, Fig. 1).
+//
+// Each host carries an RF-tag pager that keeps listening even when the
+// main transceiver sleeps. A pager matches two sequences: the host's own
+// ID (its unique paging sequence) and the broadcast sequence of whatever
+// grid the host currently occupies. A gateway uses the former to wake one
+// sleeping host when buffered data arrives for it, and the latter to wake
+// the whole grid for a gateway election or RETIRE handover.
+//
+// Per the paper, RAS power consumption is ignored, so paging costs no
+// energy on either side. Delivery is range-limited like the data radio
+// (RF tags are short-range) and incurs a small fixed latency that models
+// the paging signal plus transceiver power-up.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geo/grid.hpp"
+#include "geo/vec2.hpp"
+#include "net/host_env.hpp"
+#include "sim/simulator.hpp"
+
+namespace ecgrid::phy {
+
+struct PagingConfig {
+  double rangeMeters = 250.0;
+  double latencySeconds = 2e-3;  ///< paging signal + transceiver power-up
+};
+
+class PagingChannel {
+ public:
+  PagingChannel(sim::Simulator& sim, const PagingConfig& config);
+
+  const PagingConfig& config() const { return config_; }
+
+  /// Register host `id`'s pager. `position` is read lazily; `cell` must
+  /// return the host's current grid (for broadcast-sequence matching);
+  /// `onPaged` fires when a matching page arrives. Returns attachment id.
+  std::size_t attach(net::NodeId id, std::function<geo::Vec2()> position,
+                     std::function<geo::GridCoord()> cell,
+                     std::function<void(const net::PageSignal&)> onPaged);
+
+  void detach(std::size_t attachmentId);
+
+  /// Page host `target` from a pager at `from`. Delivered iff the target
+  /// is in range at send time.
+  void pageHost(net::NodeId pagedBy, const geo::Vec2& from,
+                net::NodeId target);
+
+  /// Page every host currently in `grid` and in range of `from`
+  /// (the grid's broadcast sequence).
+  void pageGrid(net::NodeId pagedBy, const geo::Vec2& from,
+                const geo::GridCoord& grid);
+
+  std::uint64_t pagesSent() const { return pagesSent_; }
+  std::uint64_t pagesDelivered() const { return pagesDelivered_; }
+
+ private:
+  struct Attachment {
+    net::NodeId id = net::kBroadcastId;
+    bool active = false;
+    std::function<geo::Vec2()> position;
+    std::function<geo::GridCoord()> cell;
+    std::function<void(const net::PageSignal&)> onPaged;
+  };
+
+  void deliver(const Attachment& a, const net::PageSignal& signal);
+  bool inRange(const geo::Vec2& from, const Attachment& a) const;
+
+  sim::Simulator& sim_;
+  PagingConfig config_;
+  std::vector<Attachment> attachments_;
+  std::uint64_t pagesSent_ = 0;
+  std::uint64_t pagesDelivered_ = 0;
+};
+
+}  // namespace ecgrid::phy

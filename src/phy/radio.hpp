@@ -1,0 +1,144 @@
+// Radio transceiver state machine with integrated energy accounting.
+//
+// States: Idle (listening), Tx, Rx, Sleep (transceiver off, RAS pager
+// still alive), Off (host dead). Every state change re-prices the battery
+// draw using the paper's power table and re-arms the depletion timer, so
+// hosts die at the exact instant their integral of power hits capacity.
+//
+// Reception models collisions: any two transmissions overlapping in time
+// at a receiver corrupt each other (no capture). Frames are decoded and
+// handed up only when their reception completes uncorrupted and the frame
+// is addressed to this host or broadcast.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "energy/battery.hpp"
+#include "energy/power_profile.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace ecgrid::phy {
+
+class Channel;
+
+enum class RadioState {
+  kIdle,
+  kTx,
+  kRx,
+  kSleep,
+  kOff,
+};
+
+const char* toString(RadioState s);
+
+class Radio {
+ public:
+  /// `battery` and `sim` must outlive the radio. The radio starts Idle.
+  Radio(sim::Simulator& sim, energy::Battery& battery,
+        const energy::PowerProfile& profile, net::NodeId id);
+
+  ~Radio();
+  Radio(const Radio&) = delete;
+  Radio& operator=(const Radio&) = delete;
+
+  net::NodeId id() const { return id_; }
+  RadioState state() const { return state_; }
+  bool sleeping() const { return state_ == RadioState::kSleep; }
+  bool dead() const { return state_ == RadioState::kOff; }
+
+  /// Wired once by the Node / network builder.
+  void attachChannel(Channel* channel) { channel_ = channel; }
+
+  /// Frame fully received, uncorrupted, addressed to us (or broadcast).
+  void setFrameCallback(std::function<void(const net::Packet&)> cb);
+  /// Transmission finished (MAC may start its next access cycle).
+  void setTxCompleteCallback(std::function<void()> cb);
+  /// Battery hit zero; the radio is already Off.
+  void setDeathCallback(std::function<void()> cb);
+
+  /// True when the medium is sensed busy at this radio (we are
+  /// transmitting or at least one transmission is arriving).
+  bool mediumBusy() const {
+    return state_ == RadioState::kTx || state_ == RadioState::kRx;
+  }
+
+  /// Earliest time the currently sensed activity ends (own transmission,
+  /// arriving frames, or the NAV reservation below). Returns the current
+  /// time when the medium is idle. The MAC defers its backoff to this
+  /// instant, as 802.11 DCF freezes backoff counters while busy.
+  sim::Time mediumIdleAt() const;
+
+  /// Virtual carrier sense: overhearing a unicast addressed to another
+  /// host reserves the medium for `guard` seconds past the frame end, so
+  /// the receiver's SIFS + ACK go uncontested (802.11's NAV).
+  void setNavGuard(sim::Time guard) { navGuard_ = guard; }
+
+  /// Begin transmitting; the radio holds Tx for `duration` then reverts to
+  /// Idle and fires the tx-complete callback. Requires Idle state (the MAC
+  /// enforces carrier sense; transmitting over an in-progress reception
+  /// aborts that reception, as real half-duplex hardware does).
+  void transmit(const net::Packet& packet, sim::Time duration);
+
+  /// Enter sleep mode. If a transmission is in flight the sleep is
+  /// deferred until it completes. Any in-progress receptions are lost.
+  void sleep();
+
+  /// Leave sleep mode (RAS wake or protocol decision). No-op unless
+  /// sleeping. `wakeLatency` models transceiver power-up; the radio is
+  /// unable to receive until it elapses.
+  void wake();
+
+  /// Channel-facing: a transmission starts arriving at this radio.
+  /// `duration` is its airtime; `packet` the frame carried.
+  void beginReceive(const net::Packet& packet, sim::Time duration);
+
+  /// Channel-facing: undecodable energy arrives (a transmitter inside the
+  /// interference ring but outside decode range). Corrupts any reception
+  /// in progress or starting while it lasts, and holds carrier sense
+  /// busy, but is never delivered.
+  void beginInterference(sim::Time duration);
+
+  /// Consumed/remaining energy passthroughs for stats.
+  energy::Battery& battery() { return battery_; }
+
+ private:
+  struct Reception {
+    net::Packet packet;
+    sim::Time end = 0.0;
+    bool corrupted = false;
+    sim::EventHandle endEvent;
+  };
+
+  void setState(RadioState next);
+  void rearmDepletion();
+  void die();
+  void onReceptionEnd(std::size_t token);
+  void abortAllReceptions();
+
+  sim::Simulator& sim_;
+  energy::Battery& battery_;
+  energy::PowerProfile profile_;
+  net::NodeId id_;
+  Channel* channel_ = nullptr;
+
+  RadioState state_ = RadioState::kIdle;
+  bool sleepPending_ = false;
+  sim::Time txEndsAt_ = 0.0;
+  sim::Time navGuard_ = 0.0;
+  sim::Time navUntil_ = 0.0;
+  sim::Time interferenceUntil_ = 0.0;
+
+  std::vector<std::pair<std::size_t, Reception>> receptions_;
+  std::size_t nextReceptionToken_ = 0;
+
+  sim::EventHandle txEnd_;
+  sim::EventHandle depletion_;
+
+  std::function<void(const net::Packet&)> onFrame_;
+  std::function<void()> onTxComplete_;
+  std::function<void()> onDeath_;
+};
+
+}  // namespace ecgrid::phy

@@ -1,0 +1,35 @@
+#include "protocols/common/election.hpp"
+
+namespace ecgrid::protocols {
+
+bool beats(const Candidate& a, const Candidate& b,
+           const ElectionPolicy& policy) {
+  if (policy.useBatteryLevel) {
+    int ra = energy::electionRank(a.level);
+    int rb = energy::electionRank(b.level);
+    if (ra != rb) return ra > rb;
+  }
+  double diff = a.distToCenter - b.distToCenter;
+  if (diff < -policy.distanceEpsilon) return true;
+  if (diff > policy.distanceEpsilon) return false;
+  return a.id < b.id;
+}
+
+std::optional<Candidate> electGateway(const std::vector<Candidate>& field,
+                                      const ElectionPolicy& policy) {
+  if (field.empty()) return std::nullopt;
+  const Candidate* best = &field.front();
+  for (const Candidate& c : field) {
+    if (beats(c, *best, policy)) best = &c;
+  }
+  return *best;
+}
+
+bool newcomerReplaces(const Candidate& newcomer, const Candidate& gateway,
+                      const ElectionPolicy& policy) {
+  if (!policy.useBatteryLevel) return false;  // GRID never hot-swaps
+  return energy::electionRank(newcomer.level) >
+         energy::electionRank(gateway.level);
+}
+
+}  // namespace ecgrid::protocols

@@ -1,0 +1,49 @@
+// Gateway election rules (paper §3).
+//
+// ECGRID's rules, in priority order:
+//   1. higher battery-remaining-capacity *level* (upper > boundary > lower),
+//   2. among equals, smallest distance to the grid's geometric centre
+//      (a central host stays in the grid longest),
+//   3. smallest host ID as the final tie-break.
+// GRID, which is energy-oblivious, uses the same procedure with rule 1
+// disabled. The rules are pure functions over announced candidate state
+// (taken from HELLO fields), so elections are deterministic and every
+// participant reaches the same verdict from the same HELLO set.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "energy/battery.hpp"
+#include "net/packet.hpp"
+
+namespace ecgrid::protocols {
+
+struct Candidate {
+  net::NodeId id = net::kBroadcastId;
+  energy::BatteryLevel level = energy::BatteryLevel::kUpper;
+  double distToCenter = 0.0;
+};
+
+struct ElectionPolicy {
+  /// Rule 1 on/off: ECGRID true, GRID false.
+  bool useBatteryLevel = true;
+  /// Distances closer than this are considered equal (GPS noise guard).
+  double distanceEpsilon = 1e-6;
+};
+
+/// True when `a` beats `b` under the rules.
+bool beats(const Candidate& a, const Candidate& b,
+           const ElectionPolicy& policy);
+
+/// The winning candidate, or nullopt for an empty field.
+std::optional<Candidate> electGateway(const std::vector<Candidate>& field,
+                                      const ElectionPolicy& policy);
+
+/// Paper §3.2 replacement rule for newcomers: an incoming host replaces
+/// the sitting gateway only when its battery *level* is strictly higher —
+/// "this rule prevents frequent replacement of gateways".
+bool newcomerReplaces(const Candidate& newcomer, const Candidate& gateway,
+                      const ElectionPolicy& policy);
+
+}  // namespace ecgrid::protocols

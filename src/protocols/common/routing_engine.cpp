@@ -1,0 +1,350 @@
+#include "protocols/common/routing_engine.hpp"
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace ecgrid::protocols {
+
+namespace {
+constexpr const char* kTag = "route";
+}
+
+RoutingEngine::RoutingEngine(net::HostEnv& env, Hooks hooks,
+                             const RoutingConfig& config)
+    : env_(env),
+      hooks_(std::move(hooks)),
+      config_(config),
+      routes_(config.routeLifetime),
+      reverse_(config.routeLifetime),
+      rreqCache_(config.rreqCacheHorizon),
+      rng_(env.simulator().rng().stream("routing", env.id())) {
+  ECGRID_REQUIRE(hooks_.isRouter && hooks_.routerOf && hooks_.hostIsLocal &&
+                     hooks_.deliverLocal && hooks_.locationHint,
+                 "all routing hooks are required");
+}
+
+void RoutingEngine::broadcastFrame(std::shared_ptr<const net::Header> header) {
+  net::Packet frame;
+  frame.macSrc = env_.id();
+  frame.macDst = net::kBroadcastId;
+  frame.header = std::move(header);
+  env_.link().send(frame);
+}
+
+bool RoutingEngine::unicastToGridRouter(
+    const geo::GridCoord& grid, std::shared_ptr<const net::Header> header,
+    int routeRetries, net::NodeId fallbackHop) {
+  if (grid == env_.cell() && hooks_.isRouter() &&
+      fallbackHop == net::kBroadcastId) {
+    // Shouldn't happen (callers handle local), but keep it safe.
+    return false;
+  }
+  std::optional<net::NodeId> router = hooks_.routerOf(grid);
+  if (!router.has_value() && fallbackHop != net::kBroadcastId &&
+      fallbackHop != env_.id()) {
+    router = fallbackHop;
+  }
+  if (!router.has_value()) return false;
+  net::Packet frame;
+  frame.macSrc = env_.id();
+  frame.macDst = *router;
+  frame.header = std::move(header);
+  frame.routeRetries = routeRetries;
+  env_.link().send(frame);
+  return true;
+}
+
+bool RoutingEngine::onFrame(const net::Packet& frame) {
+  if (const auto* rreq = frame.headerAs<RreqHeader>()) {
+    onRreq(frame, *rreq);
+    return true;
+  }
+  if (const auto* rrep = frame.headerAs<RrepHeader>()) {
+    onRrep(frame, *rrep);
+    return true;
+  }
+  if (const auto* rerr = frame.headerAs<RerrHeader>()) {
+    onRerr(frame, *rerr);
+    return true;
+  }
+  if (const auto* data = frame.headerAs<DataHeader>()) {
+    routeData(frame, *data);
+    return true;
+  }
+  return false;
+}
+
+void RoutingEngine::routeData(const net::Packet& frame,
+                              const DataHeader& data) {
+  sim::Time now = env_.simulator().now();
+  net::NodeId dst = data.appDst();
+
+  if (dst == env_.id() || hooks_.hostIsLocal(dst)) {
+    ++stats_.dataDeliveredLocal;
+    ECGRID_LOG_TRACE(kTag, "t=" << now << " node " << env_.id() << " @"
+                                << env_.cell() << " local-deliver "
+                                << data.describe());
+    hooks_.deliverLocal(dst, frame);
+    return;
+  }
+  if (!hooks_.isRouter()) {
+    // Non-router hosts never carry transit traffic.
+    ++stats_.dataDropped;
+    ECGRID_LOG_TRACE(kTag, "t=" << now << " node " << env_.id()
+                                << " non-router drop " << data.describe());
+    return;
+  }
+
+  auto route = routes_.lookup(dst, now);
+  if (route.has_value()) {
+    if (unicastToGridRouter(route->nextGrid, frame.header,
+                            frame.routeRetries, route->nextHop)) {
+      ECGRID_LOG_TRACE(kTag, "t=" << now << " node " << env_.id() << " @"
+                                  << env_.cell() << " fwd "
+                                  << data.describe() << " -> grid "
+                                  << route->nextGrid);
+      ++stats_.dataForwarded;
+      routes_.refresh(dst, now);
+      reverse_.refresh(data.appSrc(), now);
+      return;
+    }
+    // Next-hop gateway evaporated: purge and fall through to repair.
+    routes_.erase(dst);
+  }
+
+  ECGRID_LOG_TRACE(kTag, "t=" << now << " node " << env_.id() << " @"
+                              << env_.cell() << " no-route-buffer "
+                              << data.describe());
+  // Local repair: buffer the packet and (re)start discovery.
+  auto it = discoveries_.find(dst);
+  if (it != discoveries_.end()) {
+    if (it->second.pendingData.size() < config_.pendingLimit) {
+      it->second.pendingData.push_back(frame);
+    } else {
+      ++stats_.dataDropped;
+    }
+    return;
+  }
+  startDiscovery(dst, frame);
+}
+
+void RoutingEngine::startDiscovery(net::NodeId destination,
+                                   const net::Packet& firstData) {
+  ++stats_.discoveriesStarted;
+  Discovery& discovery = discoveries_[destination];
+  discovery.attempts = 0;
+  discovery.pendingData.push_back(firstData);
+  sendRreqAttempt(destination, discovery);
+}
+
+void RoutingEngine::sendRreqAttempt(net::NodeId destination,
+                                    Discovery& discovery) {
+  ++discovery.attempts;
+  ++sourceSeq_;
+
+  geo::GridRect range = geo::GridRect::everywhere();
+  if (config_.confinedSearch &&
+      discovery.attempts < config_.maxDiscoveryAttempts) {
+    // Paper §3.3: the search area is confined when the source has location
+    // information for the destination; the rectangle widens per retry and
+    // the final attempt searches the whole plane.
+    std::optional<geo::GridCoord> hint = hooks_.locationHint(destination);
+    if (hint.has_value()) {
+      range = geo::GridRect::covering(env_.cell(), *hint)
+                  .expanded(config_.rangeMargin +
+                            2 * (discovery.attempts - 1));
+    }
+  }
+
+  auto rreq = std::make_shared<RreqHeader>(
+      env_.id(), sourceSeq_, destination, routes_.lastKnownSeq(destination),
+      static_cast<std::uint32_t>(rng_.raw()), range, env_.cell(),
+      env_.position(), /*hopCount=*/0);
+  ++stats_.rreqsSent;
+  ECGRID_LOG_DEBUG(kTag, "node " << env_.id() << " RREQ for " << destination
+                                 << " attempt " << discovery.attempts);
+  broadcastFrame(rreq);
+
+  discovery.timeout = env_.simulator().schedule(
+      config_.rrepTimeout,
+      [this, destination] { onDiscoveryTimeout(destination); });
+}
+
+void RoutingEngine::onDiscoveryTimeout(net::NodeId destination) {
+  auto it = discoveries_.find(destination);
+  if (it == discoveries_.end()) return;
+  if (it->second.attempts >= config_.maxDiscoveryAttempts) {
+    failDiscovery(destination);
+    return;
+  }
+  sendRreqAttempt(destination, it->second);
+}
+
+void RoutingEngine::completeDiscovery(net::NodeId destination) {
+  auto it = discoveries_.find(destination);
+  if (it == discoveries_.end()) return;
+  it->second.timeout.cancel();
+  std::deque<net::Packet> pending = std::move(it->second.pendingData);
+  discoveries_.erase(it);
+  for (net::Packet& frame : pending) {
+    const auto* data = frame.headerAs<DataHeader>();
+    ECGRID_CHECK(data != nullptr, "pending queue held a non-data frame");
+    routeData(frame, *data);
+  }
+}
+
+void RoutingEngine::failDiscovery(net::NodeId destination) {
+  auto it = discoveries_.find(destination);
+  if (it == discoveries_.end()) return;
+  ++stats_.discoveriesFailed;
+  it->second.timeout.cancel();
+  for (const net::Packet& frame : it->second.pendingData) {
+    (void)frame;
+    ++stats_.dataDropped;
+  }
+  discoveries_.erase(it);
+  ECGRID_LOG_DEBUG(kTag, "node " << env_.id() << " discovery for "
+                                 << destination << " failed");
+}
+
+void RoutingEngine::onRreq(const net::Packet& frame, const RreqHeader& rreq) {
+  (void)frame;
+  if (!hooks_.isRouter()) return;  // only gateways take part (paper §3.3)
+  sim::Time now = env_.simulator().now();
+  geo::GridCoord myGrid = env_.cell();
+
+  if (!rreq.range().contains(myGrid)) return;  // outside the search area
+  if (rreq.source() == env_.id()) return;      // our own flood came back
+  if (env_.position().distanceTo(rreq.senderPos()) >
+      config_.maxForwardDistance) {
+    // We heard this copy only because we are at the very edge of the
+    // sender's radio disk; a route built on such a hop would be dead on
+    // arrival, so pretend we did not hear it.
+    return;
+  }
+  // The (re)broadcasting gateway just proved it routes senderGrid.
+  if (hooks_.observeRouter) {
+    hooks_.observeRouter(rreq.senderGrid(), frame.macSrc, rreq.senderPos());
+  }
+
+  if (!rreqCache_.firstSighting(rreq.source(), rreq.requestId(), now)) return;
+
+  // Reverse pointer toward the source, used by RREP/RERR.
+  RouteEntry reverseEntry;
+  reverseEntry.nextGrid = rreq.senderGrid();
+  reverseEntry.destGrid = rreq.senderGrid();
+  reverseEntry.nextHop = frame.macSrc;
+  reverseEntry.destSeq = rreq.sourceSeq();
+  reverseEntry.hopCount = rreq.hopCount() + 1;
+  reverse_.update(rreq.source(), reverseEntry, now);
+
+  if (rreq.destination() == env_.id() ||
+      hooks_.hostIsLocal(rreq.destination())) {
+    ECGRID_LOG_TRACE(kTag, "t=" << now << " node " << env_.id()
+                                << " answers RREQ for "
+                                << rreq.destination());
+    replyAsDestinationSide(rreq);
+    return;
+  }
+
+  ECGRID_LOG_TRACE(kTag, "t=" << now << " node " << env_.id() << " @"
+                              << env_.cell() << " relay RREQ S="
+                              << rreq.source() << " D=" << rreq.destination()
+                              << " hop" << rreq.hopCount());
+  if (rreq.hopCount() + 1 >= config_.maxHops) return;
+  if (hooks_.mayRelayRreq && !hooks_.mayRelayRreq()) return;
+  auto relay = std::make_shared<RreqHeader>(
+      rreq.source(), rreq.sourceSeq(), rreq.destination(), rreq.destSeqKnown(),
+      rreq.requestId(), rreq.range(), myGrid, env_.position(),
+      rreq.hopCount() + 1);
+  broadcastFrame(relay);
+}
+
+void RoutingEngine::replyAsDestinationSide(const RreqHeader& rreq) {
+  sim::Time now = env_.simulator().now();
+  // Answer with a destination sequence number strictly fresher than
+  // anything the requester has seen (AODV destination behaviour, executed
+  // by the destination's gateway per paper §3.3).
+  SeqNo& seq = ownSeq_[rreq.destination()];
+  if (!seqFresher(seq, rreq.destSeqKnown())) seq = rreq.destSeqKnown() + 1;
+  ++seq;
+
+  auto rrep = std::make_shared<RrepHeader>(rreq.source(), rreq.destination(),
+                                           seq, env_.cell(), env_.cell(),
+                                           env_.position(), /*hopCount=*/0);
+  ++stats_.rrepsSent;
+
+  auto reverse = reverse_.lookup(rreq.source(), now);
+  if (!reverse.has_value()) return;  // reverse path already gone
+  if (!unicastToGridRouter(reverse->nextGrid, rrep, 0, reverse->nextHop)) {
+    ECGRID_LOG_DEBUG(kTag, "node " << env_.id()
+                                   << " RREP reverse hop unknown");
+  }
+}
+
+void RoutingEngine::onRrep(const net::Packet& frame, const RrepHeader& rrep) {
+  (void)frame;
+  if (!hooks_.isRouter()) return;
+  sim::Time now = env_.simulator().now();
+
+  if (hooks_.observeRouter) {
+    hooks_.observeRouter(rrep.senderGrid(), frame.macSrc, rrep.senderPos());
+  }
+
+  // Forward route toward the destination.
+  RouteEntry entry;
+  entry.nextGrid = rrep.senderGrid();
+  entry.destGrid = rrep.destGrid();
+  entry.nextHop = frame.macSrc;
+  entry.destSeq = rrep.destSeq();
+  entry.hopCount = rrep.hopCount() + 1;
+  routes_.update(rrep.destination(), entry, now);
+
+  if (discoveries_.count(rrep.destination()) > 0 &&
+      (rrep.source() == env_.id() || hooks_.hostIsLocal(rrep.source()))) {
+    completeDiscovery(rrep.destination());
+    return;
+  }
+  forwardRrep(rrep);
+}
+
+void RoutingEngine::forwardRrep(const RrepHeader& rrep) {
+  sim::Time now = env_.simulator().now();
+  auto reverse = reverse_.lookup(rrep.source(), now);
+  if (!reverse.has_value()) return;
+  auto relay = std::make_shared<RrepHeader>(
+      rrep.source(), rrep.destination(), rrep.destSeq(), rrep.destGrid(),
+      env_.cell(), env_.position(), rrep.hopCount() + 1);
+  unicastToGridRouter(reverse->nextGrid, relay, 0, reverse->nextHop);
+}
+
+void RoutingEngine::sendRerrTowards(net::NodeId source, net::NodeId destination,
+                                    SeqNo destSeq) {
+  sim::Time now = env_.simulator().now();
+  auto reverse = reverse_.lookup(source, now);
+  if (!reverse.has_value()) return;
+  ++stats_.rerrsSent;
+  auto rerr =
+      std::make_shared<RerrHeader>(source, destination, destSeq, env_.cell());
+  unicastToGridRouter(reverse->nextGrid, rerr, 0, reverse->nextHop);
+}
+
+void RoutingEngine::onRerr(const net::Packet& frame, const RerrHeader& rerr) {
+  (void)frame;
+  if (!hooks_.isRouter()) return;
+  routes_.erase(rerr.destination());
+  if (rerr.source() == env_.id() || hooks_.hostIsLocal(rerr.source())) {
+    return;  // reached the source side; new data will re-discover
+  }
+  sendRerrTowards(rerr.source(), rerr.destination(), rerr.destSeq());
+}
+
+void RoutingEngine::stopRouting() {
+  for (auto& [dst, discovery] : discoveries_) {
+    discovery.timeout.cancel();
+    stats_.dataDropped += discovery.pendingData.size();
+  }
+  discoveries_.clear();
+}
+
+}  // namespace ecgrid::protocols

@@ -1,0 +1,77 @@
+#include "protocols/common/routing_table.hpp"
+
+namespace ecgrid::protocols {
+
+bool RoutingTable::update(net::NodeId destination, const RouteEntry& candidate,
+                          sim::Time now) {
+  auto it = routes_.find(destination);
+  if (it != routes_.end() && it->second.expiry > now) {
+    const RouteEntry& have = it->second;
+    bool fresher = seqFresher(candidate.destSeq, have.destSeq);
+    bool sameButShorter = candidate.destSeq == have.destSeq &&
+                          candidate.hopCount < have.hopCount;
+    if (!fresher && !sameButShorter) return false;
+  }
+  RouteEntry stored = candidate;
+  stored.expiry = now + lifetime_;
+  routes_[destination] = stored;
+  return true;
+}
+
+std::optional<RouteEntry> RoutingTable::lookup(net::NodeId destination,
+                                               sim::Time now) {
+  auto it = routes_.find(destination);
+  if (it == routes_.end()) return std::nullopt;
+  if (it->second.expiry <= now) return std::nullopt;
+  return it->second;
+}
+
+void RoutingTable::refresh(net::NodeId destination, sim::Time now) {
+  auto it = routes_.find(destination);
+  if (it != routes_.end() && it->second.expiry > now) {
+    it->second.expiry = now + lifetime_;
+  }
+}
+
+void RoutingTable::erase(net::NodeId destination) { routes_.erase(destination); }
+
+SeqNo RoutingTable::lastKnownSeq(net::NodeId destination) const {
+  auto it = routes_.find(destination);
+  return it == routes_.end() ? 0 : it->second.destSeq;
+}
+
+std::vector<RouteRecord> RoutingTable::exportRecords(sim::Time now) const {
+  std::vector<RouteRecord> records;
+  records.reserve(routes_.size());
+  for (const auto& [dest, entry] : routes_) {
+    if (entry.expiry <= now) continue;
+    RouteRecord rec;
+    rec.destination = dest;
+    rec.nextGrid = entry.nextGrid;
+    rec.destGrid = entry.destGrid;
+    rec.destSeq = entry.destSeq;
+    rec.expiry = entry.expiry;
+    records.push_back(rec);
+  }
+  return records;
+}
+
+void RoutingTable::importRecords(const std::vector<RouteRecord>& records,
+                                 sim::Time now) {
+  for (const RouteRecord& rec : records) {
+    if (rec.expiry <= now) continue;
+    RouteEntry entry;
+    entry.nextGrid = rec.nextGrid;
+    entry.destGrid = rec.destGrid;
+    entry.destSeq = rec.destSeq;
+    entry.hopCount = 0;  // unknown after handover; any fresher info wins
+    auto it = routes_.find(rec.destination);
+    if (it == routes_.end() || !seqFresher(it->second.destSeq, rec.destSeq)) {
+      entry.expiry = rec.expiry;
+      routes_[rec.destination] = entry;
+    }
+  }
+  (void)now;
+}
+
+}  // namespace ecgrid::protocols

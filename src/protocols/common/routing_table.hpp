@@ -1,0 +1,70 @@
+// Grid-granularity routing table (paper §3.3).
+//
+// ECGRID/GRID establish routes "in a grid-by-grid manner, instead of in a
+// host-by-host manner": an entry maps a destination *host* to the
+// neighbouring *grid* data should be forwarded to, plus the AODV-style
+// destination sequence number that decides freshness. Reverse routes
+// toward sources (set up while RREQs flood) use the same structure.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "geo/grid.hpp"
+#include "protocols/common/messages.hpp"
+#include "sim/time.hpp"
+
+namespace ecgrid::protocols {
+
+struct RouteEntry {
+  geo::GridCoord nextGrid;  ///< neighbouring grid to forward through
+  geo::GridCoord destGrid;  ///< grid the destination was last known in
+  /// Concrete node the routing message that created this entry came from.
+  /// Used as a fallback when no router is currently known for nextGrid —
+  /// in particular for GAF Model-1 endpoints, which are valid route
+  /// termini but never advertise themselves as grid leaders.
+  net::NodeId nextHop = net::kBroadcastId;
+  SeqNo destSeq = 0;
+  sim::Time expiry = sim::kTimeZero;
+  int hopCount = 0;
+};
+
+class RoutingTable {
+ public:
+  /// `lifetime`: how long an entry stays valid after insert/refresh.
+  explicit RoutingTable(sim::Time lifetime) : lifetime_(lifetime) {}
+
+  /// Insert/overwrite if the route is fresher (higher seq) or equally
+  /// fresh but shorter, per AODV acceptance. Returns true if stored.
+  bool update(net::NodeId destination, const RouteEntry& candidate,
+              sim::Time now);
+
+  /// Valid (unexpired) entry for `destination`, if any.
+  std::optional<RouteEntry> lookup(net::NodeId destination, sim::Time now);
+
+  /// Extends the expiry of an entry that was just used for forwarding.
+  void refresh(net::NodeId destination, sim::Time now);
+
+  void erase(net::NodeId destination);
+  void clear() { routes_.clear(); }
+
+  /// Last sequence number this table has seen for `destination`
+  /// (0 when unknown) — used to fill RREQ d_seq.
+  SeqNo lastKnownSeq(net::NodeId destination) const;
+
+  /// Serialise live entries for RETIRE/HANDOFF messages.
+  std::vector<RouteRecord> exportRecords(sim::Time now) const;
+
+  /// Merge records from a RETIRE/HANDOFF (same freshness rules).
+  void importRecords(const std::vector<RouteRecord>& records, sim::Time now);
+
+  std::size_t size() const { return routes_.size(); }
+  sim::Time lifetime() const { return lifetime_; }
+
+ private:
+  sim::Time lifetime_;
+  std::map<net::NodeId, RouteEntry> routes_;
+};
+
+}  // namespace ecgrid::protocols

@@ -1,0 +1,118 @@
+#include "protocols/common/tables.hpp"
+
+namespace ecgrid::protocols {
+
+bool RreqCache::firstSighting(net::NodeId source, std::uint32_t requestId,
+                              sim::Time now) {
+  sweep(now);
+  auto key = std::make_pair(source, requestId);
+  auto [it, inserted] = seen_.try_emplace(key, now);
+  if (!inserted) {
+    it->second = now;  // keep suppressing while copies circulate
+    return false;
+  }
+  return true;
+}
+
+void RreqCache::sweep(sim::Time now) {
+  // Amortised: sweep at most once per horizon.
+  if (now - lastSweep_ < horizon_) return;
+  lastSweep_ = now;
+  for (auto it = seen_.begin(); it != seen_.end();) {
+    if (now - it->second > horizon_) {
+      it = seen_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void NeighbourGatewayTable::observe(const geo::GridCoord& grid,
+                                    net::NodeId gateway,
+                                    const geo::Vec2& position, sim::Time now) {
+  entries_[grid] = Entry{gateway, position, now};
+}
+
+void NeighbourGatewayTable::forget(const geo::GridCoord& grid,
+                                   net::NodeId gateway) {
+  auto it = entries_.find(grid);
+  if (it != entries_.end() && it->second.gateway == gateway) {
+    entries_.erase(it);
+  }
+}
+
+void NeighbourGatewayTable::forgetById(net::NodeId gateway) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.gateway == gateway) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::optional<net::NodeId> NeighbourGatewayTable::gatewayOf(
+    const geo::GridCoord& grid, sim::Time now) const {
+  auto it = entries_.find(grid);
+  if (it == entries_.end()) return std::nullopt;
+  if (now - it->second.lastHeard > staleAfter_) return std::nullopt;
+  return it->second.gateway;
+}
+
+std::optional<net::NodeId> NeighbourGatewayTable::gatewayOf(
+    const geo::GridCoord& grid, sim::Time now, const geo::Vec2& from,
+    double maxDistance) const {
+  auto it = entries_.find(grid);
+  if (it == entries_.end()) return std::nullopt;
+  if (now - it->second.lastHeard > staleAfter_) return std::nullopt;
+  if (from.distanceTo(it->second.position) > maxDistance) return std::nullopt;
+  return it->second.gateway;
+}
+
+void HostTable::markActive(net::NodeId host, sim::Time now) {
+  hosts_[host] = Entry{false, now};
+}
+
+void HostTable::markSleeping(net::NodeId host, sim::Time now) {
+  hosts_[host] = Entry{true, now};
+}
+
+void HostTable::remove(net::NodeId host) { hosts_.erase(host); }
+
+bool HostTable::contains(net::NodeId host, sim::Time) const {
+  return hosts_.count(host) > 0;
+}
+
+bool HostTable::isSleeping(net::NodeId host, sim::Time now) const {
+  auto it = hosts_.find(host);
+  if (it == hosts_.end()) return false;
+  if (it->second.sleeping) return true;
+  // An "active" host that stopped HELLOing is presumed to have slept.
+  return now - it->second.lastSeen > activeStaleAfter_;
+}
+
+void HostTable::demoteStaleActives(sim::Time now) {
+  for (auto& [host, entry] : hosts_) {
+    if (!entry.sleeping && now - entry.lastSeen > activeStaleAfter_) {
+      entry.sleeping = true;
+    }
+  }
+}
+
+std::vector<std::pair<net::NodeId, bool>> HostTable::exportEntries() const {
+  std::vector<std::pair<net::NodeId, bool>> out;
+  out.reserve(hosts_.size());
+  for (const auto& [host, entry] : hosts_) {
+    out.emplace_back(host, entry.sleeping);
+  }
+  return out;
+}
+
+void HostTable::importEntries(
+    const std::vector<std::pair<net::NodeId, bool>>& entries, sim::Time now) {
+  for (const auto& [host, sleeping] : entries) {
+    hosts_[host] = Entry{sleeping, now};
+  }
+}
+
+}  // namespace ecgrid::protocols

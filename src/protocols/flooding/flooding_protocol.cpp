@@ -1,0 +1,44 @@
+#include "protocols/flooding/flooding_protocol.hpp"
+
+namespace ecgrid::protocols {
+
+void FloodingProtocol::broadcast(std::shared_ptr<const net::Header> header) {
+  net::Packet frame;
+  frame.macSrc = env_.id();
+  frame.macDst = net::kBroadcastId;
+  frame.header = std::move(header);
+  env_.link().send(frame);
+}
+
+void FloodingProtocol::sendData(net::NodeId destination, int payloadBytes,
+                                const net::DataTag& tag) {
+  if (dead_) return;
+  DataHeader data(env_.id(), destination, payloadBytes, tag);
+  if (destination == env_.id()) {
+    env_.deliverToApp(env_.id(), tag, payloadBytes);
+    return;
+  }
+  auto flood = std::make_shared<FloodHeader>(env_.id(), nextSeq_++,
+                                             config_.ttl, std::move(data));
+  seen_.emplace(flood->origin(), flood->floodSeq());
+  broadcast(flood);
+}
+
+void FloodingProtocol::onFrame(const net::Packet& packet) {
+  if (dead_) return;
+  const auto* flood = packet.headerAs<FloodHeader>();
+  if (flood == nullptr) return;
+  if (!seen_.emplace(flood->origin(), flood->floodSeq()).second) return;
+
+  const DataHeader& data = flood->data();
+  if (data.appDst() == env_.id()) {
+    env_.deliverToApp(data.appSrc(), data.tag(), data.payloadBytes());
+    return;
+  }
+  if (flood->ttl() <= 1) return;
+  ++rebroadcasts_;
+  broadcast(std::make_shared<FloodHeader>(flood->origin(), flood->floodSeq(),
+                                          flood->ttl() - 1, data));
+}
+
+}  // namespace ecgrid::protocols

@@ -1,0 +1,29 @@
+// GRID — the energy-oblivious baseline (Liao, Tseng, Sheu 2001; paper §1).
+//
+// Same grid partition, same gateway-centric grid-by-grid routing as
+// ECGRID, but no energy management whatsoever: the election ignores
+// battery levels (distance-to-centre then smallest ID), no host ever
+// sleeps, and there is no load-balance retirement. Every host therefore
+// idles at 830 mW (+GPS) and the whole network burns down at
+// ≈ E₀ / (idle + GPS) — the paper's ≈590 s wall.
+#pragma once
+
+#include "protocols/common/grid_protocol_base.hpp"
+
+namespace ecgrid::protocols {
+
+class GridProtocol final : public GridProtocolBase {
+ public:
+  GridProtocol(net::HostEnv& env, GridProtocolConfig config)
+      : GridProtocolBase(env, disableEnergyRules(std::move(config))) {}
+
+  const char* name() const override { return "GRID"; }
+
+ private:
+  static GridProtocolConfig disableEnergyRules(GridProtocolConfig config) {
+    config.election.useBatteryLevel = false;
+    return config;
+  }
+};
+
+}  // namespace ecgrid::protocols

@@ -1,0 +1,41 @@
+#include "sim/event.hpp"
+
+#include "util/error.hpp"
+
+namespace ecgrid::sim {
+
+EventHandle EventQueue::push(Time time, std::function<void()> action) {
+  ECGRID_REQUIRE(action != nullptr, "event action must be callable");
+  auto record = std::make_shared<detail::EventRecord>();
+  record->time = time;
+  record->sequence = nextSequence_++;
+  record->action = std::move(action);
+  heap_.push(record);
+  return EventHandle(record);
+}
+
+void EventQueue::skipCancelled() {
+  while (!heap_.empty() && heap_.top()->cancelled) {
+    heap_.pop();
+  }
+}
+
+std::shared_ptr<detail::EventRecord> EventQueue::pop() {
+  skipCancelled();
+  if (heap_.empty()) return nullptr;
+  auto top = heap_.top();
+  heap_.pop();
+  return top;
+}
+
+Time EventQueue::peekTime() {
+  skipCancelled();
+  return heap_.empty() ? kTimeNever : heap_.top()->time;
+}
+
+bool EventQueue::empty() {
+  skipCancelled();
+  return heap_.empty();
+}
+
+}  // namespace ecgrid::sim

@@ -1,0 +1,95 @@
+// Cancellable events and the deterministic event queue.
+//
+// Events are closures scheduled at absolute simulation times. Ties in time
+// are broken by insertion sequence number, making every run's event order a
+// total order that is independent of heap internals — a prerequisite for
+// bit-for-bit reproducibility across platforms.
+//
+// Cancellation is O(1): the handle flips a flag on the shared event record
+// and the queue discards flagged records lazily when they reach the top.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace ecgrid::sim {
+
+namespace detail {
+
+struct EventRecord {
+  Time time = kTimeZero;
+  std::uint64_t sequence = 0;
+  bool cancelled = false;
+  std::function<void()> action;
+};
+
+struct EventLater {
+  bool operator()(const std::shared_ptr<EventRecord>& a,
+                  const std::shared_ptr<EventRecord>& b) const {
+    if (a->time != b->time) return a->time > b->time;
+    return a->sequence > b->sequence;
+  }
+};
+
+}  // namespace detail
+
+/// Handle to a scheduled event. Default-constructed handles are inert.
+/// Copyable; all copies refer to the same event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancel the event if it has not fired yet. Idempotent.
+  void cancel() {
+    if (auto rec = record_.lock()) {
+      rec->cancelled = true;
+      rec->action = nullptr;  // release captured state eagerly
+    }
+  }
+
+  /// True if the event is still scheduled to fire.
+  bool pending() const {
+    auto rec = record_.lock();
+    return rec != nullptr && !rec->cancelled;
+  }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::weak_ptr<detail::EventRecord> record)
+      : record_(std::move(record)) {}
+
+  std::weak_ptr<detail::EventRecord> record_;
+};
+
+/// Min-heap of events ordered by (time, sequence).
+class EventQueue {
+ public:
+  EventHandle push(Time time, std::function<void()> action);
+
+  /// Discards cancelled records, then returns the next live event or
+  /// nullptr if the queue is empty. The returned record is removed.
+  std::shared_ptr<detail::EventRecord> pop();
+
+  /// Time of the next live event, or kTimeNever if empty.
+  Time peekTime();
+
+  bool empty();
+
+  std::size_t sizeIncludingCancelled() const { return heap_.size(); }
+
+ private:
+  void skipCancelled();
+
+  std::priority_queue<std::shared_ptr<detail::EventRecord>,
+                      std::vector<std::shared_ptr<detail::EventRecord>>,
+                      detail::EventLater>
+      heap_;
+  std::uint64_t nextSequence_ = 0;
+};
+
+}  // namespace ecgrid::sim

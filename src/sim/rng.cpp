@@ -1,0 +1,62 @@
+#include "sim/rng.hpp"
+
+#include "util/error.hpp"
+
+namespace ecgrid::sim {
+
+double RngStream::uniform(double lo, double hi) {
+  ECGRID_REQUIRE(lo <= hi, "uniform bounds inverted");
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+std::int64_t RngStream::uniformInt(std::int64_t lo, std::int64_t hi) {
+  ECGRID_REQUIRE(lo <= hi, "uniformInt bounds inverted");
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double RngStream::exponential(double mean) {
+  ECGRID_REQUIRE(mean > 0.0, "exponential mean must be positive");
+  std::exponential_distribution<double> dist(1.0 / mean);
+  return dist(engine_);
+}
+
+bool RngStream::chance(double probability) {
+  ECGRID_REQUIRE(probability >= 0.0 && probability <= 1.0,
+                 "probability out of range");
+  std::bernoulli_distribution dist(probability);
+  return dist(engine_);
+}
+
+namespace {
+
+// FNV-1a, enough to decorrelate stream names; the result is further mixed
+// through splitmix64 with the master seed.
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+RngStream RngFactory::stream(const std::string& name) const {
+  return RngStream(splitmix64(masterSeed_ ^ splitmix64(fnv1a(name))));
+}
+
+RngStream RngFactory::stream(const std::string& component, int index) const {
+  return stream(component + "/" + std::to_string(index));
+}
+
+}  // namespace ecgrid::sim

@@ -1,0 +1,58 @@
+// Deterministic random-number streams.
+//
+// Every source of randomness in a run draws from a named RngStream split
+// off a single master seed, so (a) runs are exactly reproducible given a
+// ScenarioConfig, and (b) changing how one component consumes randomness
+// (say, the MAC backoff) does not perturb another component's draws (say,
+// waypoint selection) — essential for apples-to-apples protocol
+// comparisons on the same mobility trace.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+namespace ecgrid::sim {
+
+/// One independent random stream. Thin, value-type wrapper over
+/// std::mt19937_64 with the distributions the simulator needs.
+class RngStream {
+ public:
+  explicit RngStream(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Exponentially distributed with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Bernoulli trial.
+  bool chance(double probability);
+
+  std::uint64_t raw() { return engine_(); }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Factory that derives independent streams from (masterSeed, name).
+/// The same (seed, name) pair always yields the same stream.
+class RngFactory {
+ public:
+  explicit RngFactory(std::uint64_t masterSeed) : masterSeed_(masterSeed) {}
+
+  RngStream stream(const std::string& name) const;
+
+  /// Convenience for per-node streams: stream("mac/17") etc.
+  RngStream stream(const std::string& component, int index) const;
+
+  std::uint64_t masterSeed() const { return masterSeed_; }
+
+ private:
+  std::uint64_t masterSeed_;
+};
+
+}  // namespace ecgrid::sim

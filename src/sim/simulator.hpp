@@ -1,0 +1,59 @@
+// The simulation context: clock + event queue + RNG factory.
+//
+// A Simulator owns the run. Components hold a non-owning reference and use
+// it to read the clock, schedule/cancel timers, and obtain named random
+// streams. There is deliberately no global/singleton instance: benches run
+// many simulations sequentially (and tests run them concurrently), each
+// with its own Simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/event.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace ecgrid::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t masterSeed = 1);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time.
+  Time now() const { return now_; }
+
+  /// Schedule `action` to run `delay` seconds from now (delay >= 0).
+  EventHandle schedule(Time delay, std::function<void()> action);
+
+  /// Schedule `action` at absolute time `when` (when >= now()).
+  EventHandle scheduleAt(Time when, std::function<void()> action);
+
+  /// Run events until the queue drains or the clock passes `until`.
+  /// Events scheduled exactly at `until` are executed.
+  void run(Time until = kTimeNever);
+
+  /// Run exactly one event if any is pending before `until`.
+  /// Returns false when nothing was executed.
+  bool step(Time until = kTimeNever);
+
+  /// Request that run() return after the current event completes.
+  void requestStop() { stopRequested_ = true; }
+
+  std::uint64_t eventsExecuted() const { return eventsExecuted_; }
+
+  const RngFactory& rng() const { return rngFactory_; }
+
+ private:
+  Time now_ = kTimeZero;
+  bool stopRequested_ = false;
+  std::uint64_t eventsExecuted_ = 0;
+  EventQueue queue_;
+  RngFactory rngFactory_;
+};
+
+}  // namespace ecgrid::sim

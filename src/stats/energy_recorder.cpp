@@ -1,0 +1,52 @@
+#include "stats/energy_recorder.hpp"
+
+#include "util/error.hpp"
+
+namespace ecgrid::stats {
+
+EnergyRecorder::EnergyRecorder(net::Network& network, sim::Time interval,
+                               std::vector<net::Node*> metered)
+    : network_(network), interval_(interval), metered_(std::move(metered)) {
+  ECGRID_REQUIRE(interval > 0.0, "sample interval must be positive");
+  if (metered_.empty()) {
+    for (auto& node : network_.nodes()) {
+      if (!node->batteryRef().isInfinite()) metered_.push_back(node.get());
+    }
+  }
+  ECGRID_REQUIRE(!metered_.empty(), "nothing to meter");
+  for (net::Node* node : metered_) {
+    node->setDeathCallback([this](net::NodeId, sim::Time when) {
+      deathTimes_.push_back(when);
+    });
+  }
+  sample();
+  timer_ = network_.simulator().schedule(interval_, [this] { tick(); });
+}
+
+void EnergyRecorder::tick() {
+  sample();
+  timer_ = network_.simulator().schedule(interval_, [this] { tick(); });
+}
+
+void EnergyRecorder::sample() {
+  sim::Time now = network_.simulator().now();
+  std::size_t alive = 0;
+  std::size_t awake = 0;
+  double consumed = 0.0;
+  double capacity = 0.0;
+  for (net::Node* node : metered_) {
+    if (node->alive()) {
+      ++alive;
+      if (!node->radio().sleeping()) ++awake;
+    }
+    consumed += node->batteryRef().consumedJ(now);
+    capacity += node->batteryRef().capacityJ();
+  }
+  aliveFraction_.add(now, static_cast<double>(alive) /
+                              static_cast<double>(metered_.size()));
+  aen_.add(now, capacity > 0.0 ? consumed / capacity : 0.0);
+  awakeFraction_.add(now, static_cast<double>(awake) /
+                              static_cast<double>(metered_.size()));
+}
+
+}  // namespace ecgrid::stats

@@ -1,0 +1,60 @@
+// Periodic sampling of the network's energy state (paper §4A/B/D).
+//
+// Samples two series on a fixed interval over a set of *metered* hosts:
+//   * alive fraction — hosts with battery left / metered hosts;
+//   * aen            — the paper's eq. (2): mean normalised energy
+//                      consumption, Σᵢ consumedᵢ(t) / (n · E₀).
+// GAF Model 1 runs meter only the 100 finite hosts; the ten
+// infinite-energy endpoints are excluded by construction.
+#pragma once
+
+#include <vector>
+
+#include "net/network.hpp"
+#include "stats/timeseries.hpp"
+
+namespace ecgrid::stats {
+
+class EnergyRecorder {
+ public:
+  /// Starts sampling immediately and then every `interval` seconds.
+  /// `metered` selects the nodes to measure (empty = all finite-battery
+  /// nodes in the network).
+  EnergyRecorder(net::Network& network, sim::Time interval,
+                 std::vector<net::Node*> metered = {});
+
+  ~EnergyRecorder() { timer_.cancel(); }
+  EnergyRecorder(const EnergyRecorder&) = delete;
+  EnergyRecorder& operator=(const EnergyRecorder&) = delete;
+
+  const TimeSeries& aliveFraction() const { return aliveFraction_; }
+  const TimeSeries& aen() const { return aen_; }
+  /// Fraction of metered hosts that are alive with their transceiver on
+  /// (gateway or active member) — the protocol's duty cycle.
+  const TimeSeries& awakeFraction() const { return awakeFraction_; }
+
+  /// Take one sample now (also called by the periodic timer).
+  void sample();
+
+  /// Times at which metered hosts died, in death order.
+  const std::vector<sim::Time>& deathTimes() const { return deathTimes_; }
+
+  /// First host death, or kTimeNever.
+  sim::Time firstDeath() const {
+    return deathTimes_.empty() ? sim::kTimeNever : deathTimes_.front();
+  }
+
+ private:
+  void tick();
+
+  net::Network& network_;
+  sim::Time interval_;
+  std::vector<net::Node*> metered_;
+  TimeSeries aliveFraction_{"alive_fraction"};
+  TimeSeries aen_{"aen"};
+  TimeSeries awakeFraction_{"awake_fraction"};
+  std::vector<sim::Time> deathTimes_;
+  sim::EventHandle timer_;
+};
+
+}  // namespace ecgrid::stats

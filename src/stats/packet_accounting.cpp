@@ -1,0 +1,66 @@
+#include "stats/packet_accounting.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ecgrid::stats {
+
+void PacketAccounting::onSent(std::uint64_t flowId, std::uint64_t sequence,
+                              bool sourceAlive) {
+  (void)sequence;
+  if (!sourceAlive) return;
+  ++sent_;
+  ++sentPerFlow_[flowId];
+}
+
+void PacketAccounting::onReceived(const net::DataTag& tag, sim::Time now) {
+  if (!delivered_.emplace(tag.flowId, tag.sequence).second) {
+    ++duplicates_;
+    return;
+  }
+  ++received_;
+  ++receivedPerFlow_[tag.flowId];
+  double latency = now - tag.sentAt;
+  ECGRID_CHECK(latency >= 0.0, "packet received before it was sent");
+  latencies_.push_back(latency);
+}
+
+double PacketAccounting::deliveryRate() const {
+  if (sent_ == 0) return 1.0;
+  return static_cast<double>(received_) / static_cast<double>(sent_);
+}
+
+double PacketAccounting::meanLatency() const {
+  if (latencies_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double l : latencies_) sum += l;
+  return sum / static_cast<double>(latencies_.size());
+}
+
+double PacketAccounting::latencyPercentile(double p) const {
+  ECGRID_REQUIRE(p >= 0.0 && p <= 100.0, "percentile out of range");
+  if (latencies_.empty()) return 0.0;
+  std::vector<double> sorted = latencies_;
+  std::sort(sorted.begin(), sorted.end());
+  double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::map<std::uint64_t, double> PacketAccounting::perFlowDeliveryRate() const {
+  std::map<std::uint64_t, double> out;
+  for (const auto& [flow, sent] : sentPerFlow_) {
+    auto it = receivedPerFlow_.find(flow);
+    std::uint64_t recv = it == receivedPerFlow_.end() ? 0 : it->second;
+    out[flow] = sent == 0 ? 1.0
+                          : static_cast<double>(recv) /
+                                static_cast<double>(sent);
+  }
+  return out;
+}
+
+}  // namespace ecgrid::stats

@@ -1,0 +1,59 @@
+// End-to-end packet accounting: delivery rate and latency (paper §4C).
+//
+// Definitions follow the paper exactly:
+//   * packet delivery rate = packets received by destinations / packets
+//     issued by the corresponding sources;
+//   * average packet delivery latency = mean of (reception time −
+//     transmission time) over delivered packets.
+// Duplicate deliveries of the same (flow, sequence) are counted once.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "net/host_env.hpp"
+#include "sim/time.hpp"
+
+namespace ecgrid::stats {
+
+class PacketAccounting {
+ public:
+  /// A source attempted to issue packet (flowId, sequence). Only attempts
+  /// from live sources count toward the denominator (a dead host issues
+  /// nothing — the paper measures delivery while the network lives).
+  void onSent(std::uint64_t flowId, std::uint64_t sequence, bool sourceAlive);
+
+  /// The addressed destination received the packet carrying `tag`.
+  void onReceived(const net::DataTag& tag, sim::Time now);
+
+  std::uint64_t packetsSent() const { return sent_; }
+  std::uint64_t packetsReceived() const { return received_; }
+  std::uint64_t duplicatesSuppressed() const { return duplicates_; }
+
+  /// In [0, 1]; 1.0 when nothing was sent.
+  double deliveryRate() const;
+
+  /// Mean end-to-end latency in seconds over delivered packets (0 if none).
+  double meanLatency() const;
+
+  /// Latency percentile in seconds (p in [0, 100]).
+  double latencyPercentile(double p) const;
+
+  const std::vector<double>& latencies() const { return latencies_; }
+
+  /// Per-flow delivery rate, keyed by flow id.
+  std::map<std::uint64_t, double> perFlowDeliveryRate() const;
+
+ private:
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::vector<double> latencies_;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> delivered_;
+  std::map<std::uint64_t, std::uint64_t> sentPerFlow_;
+  std::map<std::uint64_t, std::uint64_t> receivedPerFlow_;
+};
+
+}  // namespace ecgrid::stats

@@ -1,0 +1,55 @@
+#include "stats/timeseries.hpp"
+
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace ecgrid::stats {
+
+double TimeSeries::valueAt(sim::Time t) const {
+  if (points_.empty()) return 0.0;
+  double value = points_.front().second;
+  for (const auto& [pt, pv] : points_) {
+    if (pt > t) break;
+    value = pv;
+  }
+  return value;
+}
+
+sim::Time TimeSeries::firstTimeBelow(double threshold) const {
+  for (const auto& [t, v] : points_) {
+    if (v <= threshold) return t;
+  }
+  return sim::kTimeNever;
+}
+
+void writeCsv(const std::string& path, const std::vector<TimeSeries>& series) {
+  ECGRID_REQUIRE(!series.empty(), "need at least one series");
+  std::ofstream out(path);
+  ECGRID_REQUIRE(out.good(), "cannot open CSV output: " + path);
+
+  out << "time";
+  for (const TimeSeries& s : series) out << "," << s.label();
+  out << "\n";
+
+  std::size_t rows = 0;
+  for (const TimeSeries& s : series) rows = std::max(rows, s.size());
+  for (std::size_t i = 0; i < rows; ++i) {
+    bool timeWritten = false;
+    std::string line;
+    for (const TimeSeries& s : series) {
+      if (!timeWritten && i < s.size()) {
+        out << s.points()[i].first;
+        timeWritten = true;
+      }
+      if (!timeWritten) out << "";
+    }
+    for (const TimeSeries& s : series) {
+      out << ",";
+      if (i < s.size()) out << s.points()[i].second;
+    }
+    out << "\n";
+  }
+}
+
+}  // namespace ecgrid::stats

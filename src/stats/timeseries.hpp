@@ -1,0 +1,43 @@
+// Sampled time series (alive fraction, aen, ...) with CSV emission.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace ecgrid::stats {
+
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::string label) : label_(std::move(label)) {}
+
+  void add(sim::Time t, double value) { points_.emplace_back(t, value); }
+
+  const std::string& label() const { return label_; }
+  const std::vector<std::pair<sim::Time, double>>& points() const {
+    return points_;
+  }
+  bool empty() const { return points_.empty(); }
+  std::size_t size() const { return points_.size(); }
+
+  /// Last sampled value at or before `t` (first value if t precedes all
+  /// samples, 0 for an empty series).
+  double valueAt(sim::Time t) const;
+
+  /// Earliest sample time at which the value drops to or below
+  /// `threshold`; kTimeNever if it never does.
+  sim::Time firstTimeBelow(double threshold) const;
+
+ private:
+  std::string label_;
+  std::vector<std::pair<sim::Time, double>> points_;
+};
+
+/// Writes aligned series (shared time column) as CSV. All series must be
+/// sampled on the same grid; shorter series pad with blanks.
+void writeCsv(const std::string& path, const std::vector<TimeSeries>& series);
+
+}  // namespace ecgrid::stats

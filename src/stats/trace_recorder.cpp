@@ -1,0 +1,56 @@
+#include "stats/trace_recorder.hpp"
+
+#include "protocols/common/grid_protocol_base.hpp"
+#include "protocols/gaf/gaf_protocol.hpp"
+#include "util/error.hpp"
+
+namespace ecgrid::stats {
+
+TraceRecorder::TraceRecorder(net::Network& network, sim::Time interval,
+                             const std::string& path)
+    : network_(network), interval_(interval), out_(path) {
+  ECGRID_REQUIRE(interval > 0.0, "trace interval must be positive");
+  ECGRID_REQUIRE(out_.good(), "cannot open trace output: " + path);
+  sample();
+  timer_ = network_.simulator().schedule(interval_, [this] { tick(); });
+}
+
+TraceRecorder::~TraceRecorder() {
+  timer_.cancel();
+  out_.flush();
+}
+
+void TraceRecorder::tick() {
+  sample();
+  timer_ = network_.simulator().schedule(interval_, [this] { tick(); });
+}
+
+void TraceRecorder::sample() {
+  sim::Time now = network_.simulator().now();
+  for (auto& node : network_.nodes()) {
+    bool alive = node->alive();
+    bool gateway = false;
+    if (alive) {
+      if (auto* base = dynamic_cast<protocols::GridProtocolBase*>(
+              &node->protocol())) {
+        gateway = base->isGateway();
+      } else if (auto* gaf = dynamic_cast<protocols::GafProtocol*>(
+                     &node->protocol())) {
+        gateway = gaf->isLeader();
+      }
+    }
+    geo::Vec2 pos = node->position();
+    geo::GridCoord cell = node->gridMap().cellOf(pos);
+    out_ << "{\"t\":" << now << ",\"id\":" << node->id()
+         << ",\"x\":" << pos.x << ",\"y\":" << pos.y
+         << ",\"alive\":" << (alive ? "true" : "false")
+         << ",\"sleeping\":" << (node->radio().sleeping() ? "true" : "false")
+         << ",\"gateway\":" << (gateway ? "true" : "false")
+         << ",\"cell_x\":" << cell.x << ",\"cell_y\":" << cell.y
+         << ",\"battery\":" << node->batteryRef().remainingRatio(now)
+         << "}\n";
+    ++lines_;
+  }
+}
+
+}  // namespace ecgrid::stats

@@ -1,0 +1,51 @@
+// Periodic network-state tracing for visualization and post-mortems.
+//
+// Samples every host's position, radio state, and protocol role on a
+// fixed interval and appends one JSON object per host per sample to a
+// JSON-Lines file. The format is deliberately flat so a ten-line Python
+// script (or jq) can animate gateway hand-offs, sleep coverage, and death
+// waves:
+//
+//   {"t":120.0,"id":17,"x":431.2,"y":87.9,"alive":true,
+//    "sleeping":false,"gateway":true,"cell_x":4,"cell_y":0,
+//    "battery":0.73}
+#pragma once
+
+#include <fstream>
+#include <string>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace ecgrid::stats {
+
+class TraceRecorder {
+ public:
+  /// Starts sampling immediately, then every `interval` seconds, into
+  /// `path` (truncated). Throws if the file cannot be opened.
+  TraceRecorder(net::Network& network, sim::Time interval,
+                const std::string& path);
+
+  ~TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Take one sample now (also invoked by the periodic timer).
+  void sample();
+
+  /// Flush buffered lines to disk.
+  void flush() { out_.flush(); }
+
+  std::uint64_t linesWritten() const { return lines_; }
+
+ private:
+  void tick();
+
+  net::Network& network_;
+  sim::Time interval_;
+  std::ofstream out_;
+  std::uint64_t lines_ = 0;
+  sim::EventHandle timer_;
+};
+
+}  // namespace ecgrid::stats

@@ -1,0 +1,34 @@
+#include "traffic/cbr.hpp"
+
+#include "util/error.hpp"
+
+namespace ecgrid::traffic {
+
+CbrSource::CbrSource(sim::Simulator& sim, net::Node& sourceNode,
+                     const CbrFlowConfig& config, SentCallback onSent)
+    : sim_(sim), node_(sourceNode), config_(config), onSent_(std::move(onSent)) {
+  ECGRID_REQUIRE(config.packetsPerSecond > 0.0, "CBR rate must be positive");
+  ECGRID_REQUIRE(config.payloadBytes > 0, "payload must be positive");
+  ECGRID_REQUIRE(config.source != config.destination,
+                 "flow endpoints must differ");
+  sim::Time firstAt =
+      config_.startTime > sim_.now() ? config_.startTime : sim_.now();
+  timer_ = sim_.scheduleAt(firstAt, [this] { tick(); });
+}
+
+void CbrSource::tick() {
+  if (sim_.now() >= config_.stopTime) return;
+  bool alive = node_.alive();
+  std::uint64_t seq = nextSequence_++;
+  if (onSent_) onSent_(config_, seq, alive);
+  if (alive) {
+    net::DataTag tag;
+    tag.flowId = config_.flowId;
+    tag.sequence = seq;
+    tag.sentAt = sim_.now();
+    node_.sendFromApp(config_.destination, config_.payloadBytes, tag);
+  }
+  timer_ = sim_.schedule(1.0 / config_.packetsPerSecond, [this] { tick(); });
+}
+
+}  // namespace ecgrid::traffic

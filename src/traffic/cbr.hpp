@@ -1,0 +1,56 @@
+// Constant-bit-rate application flows (paper §4: "each source host sends a
+// CBR flow with one or ten 512-byte packets per second").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/host_env.hpp"
+#include "net/node.hpp"
+#include "sim/simulator.hpp"
+
+namespace ecgrid::traffic {
+
+struct CbrFlowConfig {
+  std::uint64_t flowId = 0;
+  net::NodeId source = 0;
+  net::NodeId destination = 0;
+  double packetsPerSecond = 1.0;
+  int payloadBytes = 512;
+  sim::Time startTime = 0.0;
+  sim::Time stopTime = sim::kTimeNever;
+};
+
+/// Drives one CBR flow: hands packets to the source node's protocol at a
+/// fixed rate and reports each attempt through `onSent` (whether the
+/// source was still alive is reported too, so delivery-ratio accounting
+/// can decide what its denominator is).
+class CbrSource {
+ public:
+  using SentCallback = std::function<void(
+      const CbrFlowConfig&, std::uint64_t sequence, bool sourceAlive)>;
+
+  CbrSource(sim::Simulator& sim, net::Node& sourceNode,
+            const CbrFlowConfig& config, SentCallback onSent);
+
+  ~CbrSource() { timer_.cancel(); }
+  CbrSource(const CbrSource&) = delete;
+  CbrSource& operator=(const CbrSource&) = delete;
+
+  const CbrFlowConfig& config() const { return config_; }
+  std::uint64_t packetsIssued() const { return nextSequence_; }
+
+  void stop() { timer_.cancel(); }
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  net::Node& node_;
+  CbrFlowConfig config_;
+  SentCallback onSent_;
+  std::uint64_t nextSequence_ = 0;
+  sim::EventHandle timer_;
+};
+
+}  // namespace ecgrid::traffic

@@ -1,0 +1,68 @@
+#include "traffic/flow_manager.hpp"
+
+#include "util/error.hpp"
+
+namespace ecgrid::traffic {
+
+FlowManager::FlowManager(net::Network& network, const FlowPlan& plan,
+                         stats::PacketAccounting& accounting,
+                         sim::RngStream rng) {
+  ECGRID_REQUIRE(plan.flowCount >= 0, "flow count cannot be negative");
+
+  std::vector<net::NodeId> pool = plan.eligibleEndpoints;
+  if (pool.empty()) {
+    pool.reserve(network.nodeCount());
+    for (std::size_t i = 0; i < network.nodeCount(); ++i) {
+      pool.push_back(network.node(i).id());
+    }
+  }
+  ECGRID_REQUIRE(pool.size() >= 2 || plan.flowCount == 0,
+                 "need at least two endpoints for traffic");
+
+  // Every node reports received app data to the accounting (data can only
+  // arrive at its addressed node, so one shared hook suffices).
+  for (std::size_t i = 0; i < network.nodeCount(); ++i) {
+    net::Node& node = network.node(i);
+    net::Node* nodePtr = &node;
+    node.setAppReceiveCallback(
+        [&accounting, nodePtr](net::NodeId /*src*/, const net::DataTag& tag,
+                               int /*bytes*/) {
+          accounting.onReceived(tag, nodePtr->simulator().now());
+        });
+  }
+
+  for (int f = 0; f < plan.flowCount; ++f) {
+    CbrFlowConfig config;
+    config.flowId = static_cast<std::uint64_t>(f);
+    config.packetsPerSecond = plan.packetsPerSecond;
+    config.payloadBytes = plan.payloadBytes;
+    // Random phase offset, as ns-2's CBR generators use: without it every
+    // flow fires in the same instant and packets collide at shared relays
+    // on every single tick.
+    config.startTime =
+        plan.startTime + rng.uniform(0.0, 1.0 / plan.packetsPerSecond);
+    config.stopTime = plan.stopTime;
+    config.source = pool[static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(pool.size()) - 1))];
+    do {
+      config.destination = pool[static_cast<std::size_t>(
+          rng.uniformInt(0, static_cast<std::int64_t>(pool.size()) - 1))];
+    } while (config.destination == config.source);
+
+    net::Node* sourceNode = network.findNode(config.source);
+    ECGRID_CHECK(sourceNode != nullptr, "flow source not in network");
+    flowConfigs_.push_back(config);
+    sources_.push_back(std::make_unique<CbrSource>(
+        network.simulator(), *sourceNode, config,
+        [&accounting](const CbrFlowConfig& flow, std::uint64_t seq,
+                      bool alive) {
+          accounting.onSent(flow.flowId, seq, alive);
+        }));
+  }
+}
+
+void FlowManager::stopAll() {
+  for (auto& source : sources_) source->stop();
+}
+
+}  // namespace ecgrid::traffic

@@ -1,0 +1,44 @@
+// Sets up the scenario's CBR flows and funnels end-to-end delivery events
+// into the packet accounting.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/rng.hpp"
+#include "stats/packet_accounting.hpp"
+#include "traffic/cbr.hpp"
+
+namespace ecgrid::traffic {
+
+struct FlowPlan {
+  int flowCount = 10;
+  double packetsPerSecond = 1.0;
+  int payloadBytes = 512;
+  sim::Time startTime = 1.0;
+  sim::Time stopTime = sim::kTimeNever;
+  /// If non-empty, endpoints are drawn from this id set (GAF Model 1
+  /// restricts flows to the infinite-energy hosts); otherwise from every
+  /// node in the network.
+  std::vector<net::NodeId> eligibleEndpoints;
+};
+
+class FlowManager {
+ public:
+  /// Chooses random (source, destination) pairs, creates the sources, and
+  /// installs the app-receive hook on every node. `accounting` must
+  /// outlive the manager.
+  FlowManager(net::Network& network, const FlowPlan& plan,
+              stats::PacketAccounting& accounting, sim::RngStream rng);
+
+  const std::vector<CbrFlowConfig>& flows() const { return flowConfigs_; }
+
+  void stopAll();
+
+ private:
+  std::vector<CbrFlowConfig> flowConfigs_;
+  std::vector<std::unique_ptr<CbrSource>> sources_;
+};
+
+}  // namespace ecgrid::traffic

@@ -1,0 +1,35 @@
+// Tiny command-line flag parser used by the bench and example binaries.
+//
+// Supports "--name=value", "--name value" and boolean "--name". Unknown
+// flags raise std::invalid_argument so experiment scripts fail loudly
+// instead of silently running the wrong configuration.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ecgrid::util {
+
+class Flags {
+ public:
+  /// Parses argv. `known` lists every accepted flag name (without "--").
+  Flags(int argc, const char* const* argv, std::vector<std::string> known);
+
+  bool has(const std::string& name) const;
+  std::string getString(const std::string& name,
+                        const std::string& fallback) const;
+  double getDouble(const std::string& name, double fallback) const;
+  int getInt(const std::string& name, int fallback) const;
+  bool getBool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ecgrid::util

@@ -1,0 +1,64 @@
+#include "util/log.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace ecgrid::util {
+
+namespace {
+
+int initialLevelFromEnv() {
+  const char* env = std::getenv("ECGRID_LOG");
+  if (env == nullptr) return static_cast<int>(LogLevel::kOff);
+  return static_cast<int>(Logger::parseLevel(env));
+}
+
+const char* levelName(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kOff:
+      return "off";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kTrace:
+      return "trace";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::atomic<int>& Logger::levelStorage() {
+  static std::atomic<int> storage{initialLevelFromEnv()};
+  return storage;
+}
+
+LogLevel Logger::level() {
+  return static_cast<LogLevel>(levelStorage().load(std::memory_order_relaxed));
+}
+
+void Logger::setLevel(LogLevel level) {
+  levelStorage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void Logger::write(LogLevel level, const std::string& tag,
+                   const std::string& message) {
+  std::cerr << "[" << levelName(level) << "] [" << tag << "] " << message
+            << "\n";
+}
+
+LogLevel Logger::parseLevel(const std::string& text) {
+  if (text == "error" || text == "1") return LogLevel::kError;
+  if (text == "warn" || text == "2") return LogLevel::kWarn;
+  if (text == "info" || text == "3") return LogLevel::kInfo;
+  if (text == "debug" || text == "4") return LogLevel::kDebug;
+  if (text == "trace" || text == "5") return LogLevel::kTrace;
+  return LogLevel::kOff;
+}
+
+}  // namespace ecgrid::util

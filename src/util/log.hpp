@@ -1,0 +1,70 @@
+// Minimal leveled logger for simulator diagnostics.
+//
+// Logging is opt-in and cheap when disabled: each macro checks an atomic
+// level before building the message. The level can be set programmatically
+// (Logger::setLevel) or via the ECGRID_LOG environment variable
+// ("error" | "warn" | "info" | "debug" | "trace"), read once at startup.
+//
+// Log lines carry the simulation component tag and are intended for humans
+// debugging protocol behaviour, not for machine consumption — metrics go
+// through ecgrid::stats instead.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace ecgrid::util {
+
+enum class LogLevel : int {
+  kOff = 0,
+  kError = 1,
+  kWarn = 2,
+  kInfo = 3,
+  kDebug = 4,
+  kTrace = 5,
+};
+
+class Logger {
+ public:
+  /// Current global level; defaults to kOff unless ECGRID_LOG is set.
+  static LogLevel level();
+  static void setLevel(LogLevel level);
+
+  /// Emit one line to stderr: "[level] [tag] message".
+  static void write(LogLevel level, const std::string& tag,
+                    const std::string& message);
+
+  /// Parse "debug", "3", etc.; unknown strings map to kOff.
+  static LogLevel parseLevel(const std::string& text);
+
+ private:
+  static std::atomic<int>& levelStorage();
+};
+
+inline bool logEnabled(LogLevel lvl) {
+  return static_cast<int>(lvl) <= static_cast<int>(Logger::level());
+}
+
+}  // namespace ecgrid::util
+
+#define ECGRID_LOG_AT(lvl, tag, expr)                            \
+  do {                                                           \
+    if (::ecgrid::util::logEnabled(lvl)) {                       \
+      std::ostringstream ecgrid_log_os;                          \
+      ecgrid_log_os << expr;                                     \
+      ::ecgrid::util::Logger::write(lvl, tag,                    \
+                                    ecgrid_log_os.str());        \
+    }                                                            \
+  } while (false)
+
+#define ECGRID_LOG_ERROR(tag, expr) \
+  ECGRID_LOG_AT(::ecgrid::util::LogLevel::kError, tag, expr)
+#define ECGRID_LOG_WARN(tag, expr) \
+  ECGRID_LOG_AT(::ecgrid::util::LogLevel::kWarn, tag, expr)
+#define ECGRID_LOG_INFO(tag, expr) \
+  ECGRID_LOG_AT(::ecgrid::util::LogLevel::kInfo, tag, expr)
+#define ECGRID_LOG_DEBUG(tag, expr) \
+  ECGRID_LOG_AT(::ecgrid::util::LogLevel::kDebug, tag, expr)
+#define ECGRID_LOG_TRACE(tag, expr) \
+  ECGRID_LOG_AT(::ecgrid::util::LogLevel::kTrace, tag, expr)

@@ -1,0 +1,130 @@
+// Tests for the gateway election rules (paper §3).
+#include <gtest/gtest.h>
+
+#include "protocols/common/election.hpp"
+#include "sim/rng.hpp"
+
+namespace ecgrid::protocols {
+namespace {
+
+using energy::BatteryLevel;
+
+Candidate make(net::NodeId id, BatteryLevel level, double dist) {
+  return Candidate{id, level, dist};
+}
+
+TEST(Election, Rule1BatteryLevelDominates) {
+  ElectionPolicy policy;
+  Candidate strong = make(9, BatteryLevel::kUpper, 60.0);
+  Candidate weak = make(1, BatteryLevel::kBoundary, 1.0);
+  EXPECT_TRUE(beats(strong, weak, policy));
+  EXPECT_FALSE(beats(weak, strong, policy));
+}
+
+TEST(Election, Rule2DistanceBreaksLevelTies) {
+  ElectionPolicy policy;
+  Candidate near = make(9, BatteryLevel::kUpper, 5.0);
+  Candidate far = make(1, BatteryLevel::kUpper, 30.0);
+  EXPECT_TRUE(beats(near, far, policy));
+}
+
+TEST(Election, Rule3SmallestIdIsFinalTieBreak) {
+  ElectionPolicy policy;
+  Candidate a = make(2, BatteryLevel::kBoundary, 10.0);
+  Candidate b = make(5, BatteryLevel::kBoundary, 10.0);
+  EXPECT_TRUE(beats(a, b, policy));
+  EXPECT_FALSE(beats(b, a, policy));
+}
+
+TEST(Election, DistanceEpsilonTreatsGpsNoiseAsEqual) {
+  ElectionPolicy policy;
+  policy.distanceEpsilon = 0.5;
+  Candidate a = make(7, BatteryLevel::kUpper, 10.0);
+  Candidate b = make(3, BatteryLevel::kUpper, 10.3);  // within epsilon
+  EXPECT_TRUE(beats(b, a, policy));  // id decides
+}
+
+TEST(Election, GridPolicyIgnoresBattery) {
+  ElectionPolicy policy;
+  policy.useBatteryLevel = false;
+  Candidate lowButNear = make(9, BatteryLevel::kLower, 2.0);
+  Candidate fullButFar = make(1, BatteryLevel::kUpper, 40.0);
+  EXPECT_TRUE(beats(lowButNear, fullButFar, policy));
+}
+
+TEST(Election, ElectGatewayPicksOverallWinner) {
+  ElectionPolicy policy;
+  std::vector<Candidate> field = {
+      make(4, BatteryLevel::kBoundary, 3.0),
+      make(2, BatteryLevel::kUpper, 25.0),
+      make(8, BatteryLevel::kUpper, 12.0),
+      make(6, BatteryLevel::kLower, 1.0),
+  };
+  auto winner = electGateway(field, policy);
+  ASSERT_TRUE(winner.has_value());
+  EXPECT_EQ(winner->id, 8);  // upper level, closer than 2
+}
+
+TEST(Election, EmptyFieldHasNoWinner) {
+  EXPECT_FALSE(electGateway({}, ElectionPolicy{}).has_value());
+}
+
+TEST(Election, NewcomerNeedsStrictlyHigherLevel) {
+  ElectionPolicy policy;
+  Candidate sitting = make(1, BatteryLevel::kBoundary, 40.0);
+  EXPECT_TRUE(newcomerReplaces(make(9, BatteryLevel::kUpper, 45.0), sitting,
+                               policy));
+  // Equal level never replaces, regardless of position (anti-thrash rule).
+  EXPECT_FALSE(newcomerReplaces(make(9, BatteryLevel::kBoundary, 0.1), sitting,
+                                policy));
+  EXPECT_FALSE(newcomerReplaces(make(9, BatteryLevel::kLower, 0.1), sitting,
+                                policy));
+}
+
+TEST(Election, GridNeverHotSwaps) {
+  ElectionPolicy policy;
+  policy.useBatteryLevel = false;
+  EXPECT_FALSE(newcomerReplaces(make(9, BatteryLevel::kUpper, 0.0),
+                                make(1, BatteryLevel::kLower, 70.0), policy));
+}
+
+// Property: beats() is a strict total order over distinct candidates —
+// irreflexive, antisymmetric, transitive — so all hosts agree on one
+// winner from the same HELLO set.
+class ElectionOrder : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ElectionOrder, StrictTotalOrder) {
+  sim::RngStream rng(GetParam());
+  ElectionPolicy policy;
+  std::vector<Candidate> field;
+  for (int i = 0; i < 24; ++i) {
+    field.push_back(make(i,
+                         static_cast<BatteryLevel>(rng.uniformInt(0, 2)),
+                         rng.uniform(0.0, 70.0)));
+  }
+  for (const Candidate& a : field) {
+    EXPECT_FALSE(beats(a, a, policy));
+    for (const Candidate& b : field) {
+      if (a.id == b.id) continue;
+      EXPECT_NE(beats(a, b, policy), beats(b, a, policy));
+      for (const Candidate& c : field) {
+        if (beats(a, b, policy) && beats(b, c, policy)) {
+          EXPECT_TRUE(beats(a, c, policy));
+        }
+      }
+    }
+  }
+  // And every permutation elects the same winner.
+  auto winner = electGateway(field, policy);
+  std::vector<Candidate> reversed(field.rbegin(), field.rend());
+  auto winner2 = electGateway(reversed, policy);
+  ASSERT_TRUE(winner.has_value());
+  ASSERT_TRUE(winner2.has_value());
+  EXPECT_EQ(winner->id, winner2->id);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ElectionOrder,
+                         ::testing::Values(11u, 22u, 33u));
+
+}  // namespace
+}  // namespace ecgrid::protocols

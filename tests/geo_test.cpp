@@ -1,0 +1,143 @@
+// Unit and property tests for geometry: vectors, grid mapping, the paper's
+// d = √2·r/3 dimensioning rule, exit-time computation, search rectangles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/grid.hpp"
+#include "geo/rect.hpp"
+#include "geo/vec2.hpp"
+#include "sim/rng.hpp"
+
+namespace ecgrid::geo {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  Vec2 a{1.0, 2.0};
+  Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+  EXPECT_DOUBLE_EQ(a.dot(b), 1.0);
+}
+
+TEST(Vec2, LengthAndDistance) {
+  Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.length(), 5.0);
+  EXPECT_DOUBLE_EQ(v.lengthSquared(), 25.0);
+  EXPECT_DOUBLE_EQ((Vec2{0, 0}).distanceTo(v), 5.0);
+}
+
+TEST(Vec2, NormalizedHandlesZero) {
+  EXPECT_EQ((Vec2{}).normalized(), (Vec2{}));
+  Vec2 unit = Vec2{0.0, -7.0}.normalized();
+  EXPECT_DOUBLE_EQ(unit.x, 0.0);
+  EXPECT_DOUBLE_EQ(unit.y, -1.0);
+}
+
+TEST(GridCoord, NeighbourRelation) {
+  GridCoord center{5, 5};
+  EXPECT_TRUE((GridCoord{4, 4}).isNeighbourOf(center));
+  EXPECT_TRUE((GridCoord{5, 6}).isNeighbourOf(center));
+  EXPECT_FALSE((GridCoord{5, 5}).isNeighbourOf(center));  // self
+  EXPECT_FALSE((GridCoord{7, 5}).isNeighbourOf(center));
+  EXPECT_EQ(center.chebyshevTo({8, 3}), 3);
+}
+
+TEST(GridMap, MapsPositionsToCells) {
+  GridMap grid(100.0);
+  EXPECT_EQ(grid.cellOf({0.0, 0.0}), (GridCoord{0, 0}));
+  EXPECT_EQ(grid.cellOf({99.999, 99.999}), (GridCoord{0, 0}));
+  EXPECT_EQ(grid.cellOf({100.0, 0.0}), (GridCoord{1, 0}));  // boundary → upper
+  EXPECT_EQ(grid.cellOf({250.0, 420.0}), (GridCoord{2, 4}));
+  EXPECT_EQ(grid.cellOf({-0.5, 3.0}), (GridCoord{-1, 0}));
+}
+
+TEST(GridMap, CenterAndOrigin) {
+  GridMap grid(100.0);
+  EXPECT_EQ(grid.centerOf({2, 3}), (Vec2{250.0, 350.0}));
+  EXPECT_EQ(grid.originOf({2, 3}), (Vec2{200.0, 300.0}));
+  EXPECT_DOUBLE_EQ(grid.distanceToOwnCenter({250.0, 350.0}), 0.0);
+  EXPECT_NEAR(grid.distanceToOwnCenter({200.0, 300.0}), std::sqrt(2.0) * 50.0,
+              1e-9);
+}
+
+TEST(GridMap, RejectsNonPositiveCellSide) {
+  EXPECT_THROW(GridMap(0.0), std::invalid_argument);
+  EXPECT_THROW(GridMap(-5.0), std::invalid_argument);
+}
+
+TEST(GridMap, TimeToExitCellStraightLine) {
+  GridMap grid(100.0);
+  // Moving right at 10 m/s from x=30: wall at x=100 → 7 s.
+  EXPECT_DOUBLE_EQ(grid.timeToExitCell({30.0, 50.0}, {10.0, 0.0}), 7.0);
+  // Moving down at 5 m/s from y=20: wall at y=0 → 4 s.
+  EXPECT_DOUBLE_EQ(grid.timeToExitCell({30.0, 20.0}, {0.0, -5.0}), 4.0);
+  // Diagonal: whichever wall comes first.
+  EXPECT_DOUBLE_EQ(grid.timeToExitCell({90.0, 50.0}, {10.0, 10.0}), 1.0);
+}
+
+TEST(GridMap, TimeToExitCellStationary) {
+  GridMap grid(100.0);
+  EXPECT_TRUE(std::isinf(grid.timeToExitCell({30.0, 50.0}, {0.0, 0.0})));
+}
+
+// The paper's dimensioning rule: with d = √2·r/3, a gateway at the grid
+// centre reaches any point of its eight neighbouring cells. Property-check
+// over a sweep of radio ranges and sampled neighbour positions.
+class CellSideRule : public ::testing::TestWithParam<double> {};
+
+TEST_P(CellSideRule, CenterGatewayCoversAllEightNeighbours) {
+  double range = GetParam();
+  double d = maxCellSideForRange(range);
+  EXPECT_NEAR(d, std::sqrt(2.0) * range / 3.0, 1e-12);
+
+  GridMap grid(d);
+  Vec2 center = grid.centerOf({0, 0});
+  sim::RngStream rng(17);
+  for (int n = 0; n < 2000; ++n) {
+    GridCoord neighbour{static_cast<std::int32_t>(rng.uniformInt(-1, 1)),
+                        static_cast<std::int32_t>(rng.uniformInt(-1, 1))};
+    Vec2 origin = grid.originOf(neighbour);
+    Vec2 point{origin.x + rng.uniform(0.0, d), origin.y + rng.uniform(0.0, d)};
+    EXPECT_LE(center.distanceTo(point), range + 1e-9)
+        << "range " << range << " cell " << d << " point " << point;
+  }
+  // And the rule is tight: a slightly larger cell side leaves corners of
+  // the diagonal neighbours out of reach.
+  GridMap tooBig(d * 1.05);
+  Vec2 worst = tooBig.originOf({2, 2});  // far corner of neighbour (1,1)
+  EXPECT_GT(tooBig.centerOf({0, 0}).distanceTo(worst), range);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, CellSideRule,
+                         ::testing::Values(50.0, 100.0, 250.0, 500.0));
+
+TEST(GridRect, CoveringAndContains) {
+  GridRect rect = GridRect::covering({5, 1}, {1, 3});
+  EXPECT_EQ(rect.lo, (GridCoord{1, 1}));
+  EXPECT_EQ(rect.hi, (GridCoord{5, 3}));
+  EXPECT_TRUE(rect.contains({3, 2}));
+  EXPECT_TRUE(rect.contains({1, 1}));
+  EXPECT_TRUE(rect.contains({5, 3}));
+  EXPECT_FALSE(rect.contains({0, 2}));
+  EXPECT_FALSE(rect.contains({3, 4}));
+  EXPECT_EQ(rect.cellCount(), 15);
+}
+
+TEST(GridRect, ExpandedGrowsEverySide) {
+  GridRect rect = GridRect::covering({2, 2}, {3, 3}).expanded(1);
+  EXPECT_TRUE(rect.contains({1, 1}));
+  EXPECT_TRUE(rect.contains({4, 4}));
+  EXPECT_FALSE(rect.contains({0, 0}));
+}
+
+TEST(GridRect, EverywhereContainsEverything) {
+  GridRect all = GridRect::everywhere();
+  EXPECT_TRUE(all.contains({1000000, -1000000}));
+  EXPECT_TRUE(all.contains({0, 0}));
+}
+
+}  // namespace
+}  // namespace ecgrid::geo

@@ -1,0 +1,161 @@
+// Tests for the node/network layer: per-host stack wiring, death
+// handling, paging plumbing, and network-level queries.
+#include <gtest/gtest.h>
+
+#include "test_net.hpp"
+
+namespace ecgrid::test {
+namespace {
+
+TEST(Network, RejectsDuplicateIds) {
+  TestNet net;
+  net.addStatic(1, {50.0, 50.0});
+  EXPECT_THROW(net.addStatic(1, {150.0, 50.0}), std::invalid_argument);
+}
+
+TEST(Network, FindNodeAndCounts) {
+  TestNet net;
+  net.addStatic(3, {50.0, 50.0});
+  net.addStatic(7, {150.0, 50.0});
+  EXPECT_EQ(net.network.nodeCount(), 2u);
+  ASSERT_NE(net.network.findNode(7), nullptr);
+  EXPECT_EQ(net.network.findNode(7)->id(), 7);
+  EXPECT_EQ(net.network.findNode(99), nullptr);
+  EXPECT_EQ(net.network.aliveCount(), 2u);
+}
+
+TEST(Node, ExposesGpsView) {
+  TestNet net;
+  net::Node& node = net.addStatic(1, {250.0, 420.0});
+  net.installGrid(node);
+  EXPECT_EQ(node.position(), (geo::Vec2{250.0, 420.0}));
+  EXPECT_EQ(node.velocity(), (geo::Vec2{}));
+  EXPECT_EQ(node.cell(), (geo::GridCoord{2, 4}));
+  EXPECT_GE(node.nextPossibleCellExit(), sim::kTimeNever);
+}
+
+TEST(Node, StartRequiresProtocol) {
+  TestNet net;
+  net.addStatic(1, {50.0, 50.0});
+  EXPECT_THROW(net.network.start(), std::logic_error);
+}
+
+TEST(Node, DeathCallbackFiresOnceWithTime) {
+  TestNet net;
+  net::Node& node = net.addStatic(1, {50.0, 50.0}, /*batteryJ=*/8.63);
+  net.installGrid(node);
+  int deaths = 0;
+  sim::Time when = -1.0;
+  node.setDeathCallback([&](net::NodeId id, sim::Time t) {
+    EXPECT_EQ(id, 1);
+    when = t;
+    ++deaths;
+  });
+  net.network.start();
+  net.simulator.run(60.0);
+  EXPECT_EQ(deaths, 1);
+  // 8.63 J at ≥0.863 W (idle, plus beacon transmissions) ⇒ ≤ 10 s.
+  EXPECT_GT(when, 5.0);
+  EXPECT_LE(when, 10.0);
+  EXPECT_FALSE(node.alive());
+  EXPECT_EQ(net.network.aliveCount(), 0u);
+}
+
+TEST(Node, DeadNodesDropAppTraffic) {
+  TestNet net;
+  net::Node& dying = net.addStatic(1, {50.0, 50.0}, /*batteryJ=*/5.0);
+  net::Node& peer = net.addStatic(2, {80.0, 50.0});
+  net.installGridEverywhere();
+  int delivered = 0;
+  peer.setAppReceiveCallback(
+      [&](net::NodeId, const net::DataTag&, int) { ++delivered; });
+  net.network.start();
+  net.simulator.run(30.0);
+  ASSERT_FALSE(dying.alive());
+  dying.sendFromApp(2, 64, {});
+  net.simulator.run(35.0);
+  EXPECT_EQ(delivered, 0);
+}
+
+TEST(Node, SleepRadioClearsMacQueue) {
+  TestNet net;
+  net::Node& node = net.addStatic(1, {50.0, 50.0});
+  net.installGrid(node);
+  net.network.start();
+  // Queue a few frames, then sleep before they can all leave.
+  for (int i = 0; i < 4; ++i) {
+    net::Packet frame;
+    frame.macSrc = 1;
+    frame.macDst = 42;
+    frame.header = std::make_shared<protocols::LeaveHeader>(
+        1, geo::GridCoord{0, 0});
+    node.link().send(frame);
+  }
+  node.sleepRadio();
+  EXPECT_EQ(node.link().queueDepth(), 0u);
+  EXPECT_TRUE(node.radioSleeping());
+  node.wakeRadio();
+  EXPECT_FALSE(node.radioSleeping());
+}
+
+TEST(Node, PagingWakesSleepingRadioBeforeProtocolSeesIt) {
+  TestNet net;
+  net::Node& pager = net.addStatic(1, {50.0, 50.0});
+  net::Node& target = net.addStatic(2, {80.0, 50.0});
+  net.installGridEverywhere();  // GRID ignores pages, but the radio wakes
+  net.network.start();
+  target.sleepRadio();
+  ASSERT_TRUE(target.radioSleeping());
+  pager.pageHost(2);
+  net.simulator.run(1.0);
+  EXPECT_FALSE(target.radioSleeping());
+}
+
+TEST(Node, GridPageOnlyWakesThatGrid) {
+  TestNet net;
+  net::Node& pager = net.addStatic(1, {50.0, 50.0});
+  net::Node& sameGrid = net.addStatic(2, {80.0, 50.0});
+  net::Node& otherGrid = net.addStatic(3, {150.0, 50.0});
+  net.installGridEverywhere();
+  net.network.start();
+  sameGrid.sleepRadio();
+  otherGrid.sleepRadio();
+  pager.pageGrid({0, 0});
+  net.simulator.run(1.0);
+  EXPECT_FALSE(sameGrid.radioSleeping());
+  EXPECT_TRUE(otherGrid.radioSleeping());
+}
+
+TEST(Node, BatteryLevelPassthrough) {
+  TestNet net;
+  net::Node& node = net.addStatic(1, {50.0, 50.0});
+  net.installGrid(node);
+  EXPECT_EQ(node.batteryLevel(), energy::BatteryLevel::kUpper);
+  node.batteryRef().drain(300.0, 0.0);  // 40 % left
+  EXPECT_EQ(node.batteryLevel(), energy::BatteryLevel::kBoundary);
+  EXPECT_NEAR(node.batteryRatio(), 0.4, 1e-9);
+}
+
+TEST(Node, DeadNodeStopsHearingFrames) {
+  TestNet net;
+  net::Node& dying = net.addStatic(1, {50.0, 50.0}, /*batteryJ=*/5.0);
+  net::Node& talker = net.addStatic(2, {80.0, 50.0});
+  net.installGridEverywhere();
+  net.network.start();
+  net.simulator.run(30.0);
+  ASSERT_FALSE(dying.alive());
+  std::uint64_t framesBefore = net.network.channel().deliveriesScheduled();
+  net::Packet frame;
+  frame.macSrc = 2;
+  frame.macDst = 1;
+  frame.header =
+      std::make_shared<protocols::LeaveHeader>(2, geo::GridCoord{0, 0});
+  talker.link().send(frame);
+  net.simulator.run(35.0);
+  // The dead node is detached from the channel: no delivery was even
+  // scheduled toward it.
+  EXPECT_EQ(net.network.channel().deliveriesScheduled(), framesBefore);
+}
+
+}  // namespace
+}  // namespace ecgrid::test

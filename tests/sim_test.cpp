@@ -1,0 +1,241 @@
+// Unit tests for the discrete-event kernel: ordering, cancellation,
+// determinism, and RNG stream independence.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace ecgrid::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.push(3.0, [&] { order.push_back(3); });
+  queue.push(1.0, [&] { order.push_back(1); });
+  queue.push(2.0, [&] { order.push_back(2); });
+  while (auto record = queue.pop()) record->action();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    queue.push(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (auto record = queue.pop()) record->action();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelledEventsAreSkipped) {
+  EventQueue queue;
+  int fired = 0;
+  EventHandle keep = queue.push(1.0, [&] { ++fired; });
+  EventHandle gone = queue.push(2.0, [&] { ++fired; });
+  gone.cancel();
+  EXPECT_TRUE(keep.pending());
+  EXPECT_FALSE(gone.pending());
+  while (auto record = queue.pop()) record->action();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelIsIdempotentAndSafeAfterFire) {
+  EventQueue queue;
+  EventHandle handle = queue.push(1.0, [] {});
+  auto record = queue.pop();
+  record->action();
+  handle.cancel();  // already fired: must not blow up
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+}
+
+TEST(EventQueue, PeekTimeSkipsCancelled) {
+  EventQueue queue;
+  EventHandle first = queue.push(1.0, [] {});
+  queue.push(4.0, [] {});
+  first.cancel();
+  EXPECT_DOUBLE_EQ(queue.peekTime(), 4.0);
+}
+
+TEST(EventQueue, EmptyQueueReportsNever) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_GE(queue.peekTime(), kTimeNever);
+  EXPECT_EQ(queue.pop(), nullptr);
+}
+
+TEST(Simulator, ClockAdvancesToEventTimes) {
+  Simulator simulator;
+  std::vector<Time> seen;
+  simulator.schedule(1.5, [&] { seen.push_back(simulator.now()); });
+  simulator.schedule(0.5, [&] { seen.push_back(simulator.now()); });
+  simulator.run();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_DOUBLE_EQ(seen[0], 0.5);
+  EXPECT_DOUBLE_EQ(seen[1], 1.5);
+}
+
+TEST(Simulator, RunUntilHorizonExecutesBoundaryEvent) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.schedule(10.0, [&] { ++fired; });
+  simulator.schedule(10.000001, [&] { ++fired; });
+  simulator.run(10.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(simulator.now(), 10.0);
+}
+
+TEST(Simulator, ClockReachesHorizonEvenWhenQueueDrains) {
+  Simulator simulator;
+  simulator.schedule(1.0, [] {});
+  simulator.run(50.0);
+  EXPECT_DOUBLE_EQ(simulator.now(), 50.0);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator simulator;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) simulator.schedule(1.0, recurse);
+  };
+  simulator.schedule(1.0, recurse);
+  simulator.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(simulator.now(), 5.0);
+}
+
+TEST(Simulator, RequestStopHaltsRun) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.schedule(1.0, [&] {
+    ++fired;
+    simulator.requestStop();
+  });
+  simulator.schedule(2.0, [&] { ++fired; });
+  simulator.run();
+  EXPECT_EQ(fired, 1);
+  // A fresh run resumes where we stopped.
+  simulator.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator simulator;
+  simulator.schedule(5.0, [] {});
+  simulator.run();
+  EXPECT_THROW(simulator.scheduleAt(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(simulator.schedule(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, EventCountIsTracked) {
+  Simulator simulator;
+  for (int i = 0; i < 7; ++i) simulator.schedule(i * 0.1, [] {});
+  simulator.run();
+  EXPECT_EQ(simulator.eventsExecuted(), 7u);
+}
+
+// --- RNG ------------------------------------------------------------------
+
+TEST(Rng, SameSeedSameNameReproduces) {
+  RngFactory a(123);
+  RngFactory b(123);
+  RngStream sa = a.stream("mac", 4);
+  RngStream sb = b.stream("mac", 4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(sa.uniform(0, 1), sb.uniform(0, 1));
+  }
+}
+
+TEST(Rng, DifferentNamesDecorrelate) {
+  RngFactory factory(123);
+  RngStream a = factory.stream("alpha");
+  RngStream b = factory.stream("beta");
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.raw() == b.raw()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, DifferentSeedsDecorrelate) {
+  RngFactory a(1);
+  RngFactory b(2);
+  EXPECT_NE(a.stream("x").raw(), b.stream("x").raw());
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  RngFactory factory(9);
+  RngStream stream = factory.stream("u");
+  for (int i = 0; i < 1000; ++i) {
+    double v = stream.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntIsInclusive) {
+  RngFactory factory(9);
+  RngStream stream = factory.stream("i");
+  bool sawLo = false;
+  bool sawHi = false;
+  for (int i = 0; i < 2000; ++i) {
+    std::int64_t v = stream.uniformInt(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    sawLo |= v == 0;
+    sawHi |= v == 3;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, ExponentialHasRoughlyRightMean) {
+  RngFactory factory(77);
+  RngStream stream = factory.stream("e");
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += stream.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.2);
+}
+
+TEST(Rng, InvalidArgumentsThrow) {
+  RngFactory factory(1);
+  RngStream stream = factory.stream("t");
+  EXPECT_THROW(stream.uniform(2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(stream.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(stream.chance(1.5), std::invalid_argument);
+}
+
+// Property sweep: for many (seed, horizon) pairs, executing a batch of
+// randomly-timed events is deterministic and time-monotone.
+class SimDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimDeterminism, ReplayIsIdentical) {
+  auto runOnce = [&](std::uint64_t seed) {
+    Simulator simulator(seed);
+    RngStream rng = simulator.rng().stream("times");
+    std::vector<double> trace;
+    for (int i = 0; i < 200; ++i) {
+      simulator.schedule(rng.uniform(0.0, 100.0),
+                         [&] { trace.push_back(simulator.now()); });
+    }
+    simulator.run();
+    return trace;
+  };
+  std::vector<double> first = runOnce(GetParam());
+  std::vector<double> second = runOnce(GetParam());
+  ASSERT_EQ(first, second);
+  for (std::size_t i = 1; i < first.size(); ++i) {
+    EXPECT_LE(first[i - 1], first[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimDeterminism,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+}  // namespace
+}  // namespace ecgrid::sim

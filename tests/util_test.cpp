@@ -1,0 +1,96 @@
+// Tests for utilities: flags parsing, contract macros, logging plumbing.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/flags.hpp"
+#include "util/log.hpp"
+
+namespace ecgrid::util {
+namespace {
+
+Flags parse(std::vector<const char*> argv, std::vector<std::string> known) {
+  argv.insert(argv.begin(), "prog");
+  return Flags(static_cast<int>(argv.size()), argv.data(), std::move(known));
+}
+
+TEST(Flags, ParsesEqualsForm) {
+  Flags flags = parse({"--hosts=50", "--speed=2.5"}, {"hosts", "speed"});
+  EXPECT_EQ(flags.getInt("hosts", 0), 50);
+  EXPECT_DOUBLE_EQ(flags.getDouble("speed", 0.0), 2.5);
+}
+
+TEST(Flags, ParsesSpaceForm) {
+  Flags flags = parse({"--hosts", "50"}, {"hosts"});
+  EXPECT_EQ(flags.getInt("hosts", 0), 50);
+}
+
+TEST(Flags, BareFlagIsTrue) {
+  Flags flags = parse({"--verbose"}, {"verbose"});
+  EXPECT_TRUE(flags.getBool("verbose", false));
+  EXPECT_TRUE(flags.has("verbose"));
+}
+
+TEST(Flags, FallbacksWhenAbsent) {
+  Flags flags = parse({}, {"hosts"});
+  EXPECT_EQ(flags.getInt("hosts", 42), 42);
+  EXPECT_EQ(flags.getString("hosts", "x"), "x");
+  EXPECT_FALSE(flags.has("hosts"));
+}
+
+TEST(Flags, UnknownFlagThrows) {
+  EXPECT_THROW(parse({"--bogus=1"}, {"hosts"}), std::invalid_argument);
+}
+
+TEST(Flags, PositionalArgumentsCollected) {
+  Flags flags = parse({"alpha", "--hosts=1", "beta"}, {"hosts"});
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST(Flags, BoolParsing) {
+  Flags flags = parse({"--a=true", "--b=0", "--c=yes", "--d=nope"},
+                      {"a", "b", "c", "d"});
+  EXPECT_TRUE(flags.getBool("a", false));
+  EXPECT_FALSE(flags.getBool("b", true));
+  EXPECT_TRUE(flags.getBool("c", false));
+  EXPECT_FALSE(flags.getBool("d", true));
+}
+
+TEST(Contracts, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(ECGRID_REQUIRE(false, "nope"), std::invalid_argument);
+  EXPECT_NO_THROW(ECGRID_REQUIRE(true, "fine"));
+}
+
+TEST(Contracts, CheckThrowsLogicError) {
+  EXPECT_THROW(ECGRID_CHECK(false, "invariant"), std::logic_error);
+  EXPECT_NO_THROW(ECGRID_CHECK(true, "fine"));
+}
+
+TEST(Contracts, MessagesCarryContext) {
+  try {
+    ECGRID_REQUIRE(1 == 2, "one is not two");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+  }
+}
+
+TEST(Log, LevelParsing) {
+  EXPECT_EQ(Logger::parseLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(Logger::parseLevel("3"), LogLevel::kInfo);
+  EXPECT_EQ(Logger::parseLevel("whatever"), LogLevel::kOff);
+}
+
+TEST(Log, LevelGatesEmission) {
+  LogLevel original = Logger::level();
+  Logger::setLevel(LogLevel::kWarn);
+  EXPECT_TRUE(logEnabled(LogLevel::kError));
+  EXPECT_TRUE(logEnabled(LogLevel::kWarn));
+  EXPECT_FALSE(logEnabled(LogLevel::kInfo));
+  Logger::setLevel(original);
+}
+
+}  // namespace
+}  // namespace ecgrid::util
