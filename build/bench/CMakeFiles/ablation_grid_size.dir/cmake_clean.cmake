@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_grid_size.dir/ablation_grid_size.cpp.o"
+  "CMakeFiles/ablation_grid_size.dir/ablation_grid_size.cpp.o.d"
+  "ablation_grid_size"
+  "ablation_grid_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_grid_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hello_period.dir/ablation_hello_period.cpp.o"
+  "CMakeFiles/ablation_hello_period.dir/ablation_hello_period.cpp.o.d"
+  "ablation_hello_period"
+  "ablation_hello_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hello_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_search_range.dir/ablation_search_range.cpp.o"
+  "CMakeFiles/ablation_search_range.dir/ablation_search_range.cpp.o.d"
+  "ablation_search_range"
+  "ablation_search_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_search_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sleep.dir/ablation_sleep.cpp.o"
+  "CMakeFiles/ablation_sleep.dir/ablation_sleep.cpp.o.d"
+  "ablation_sleep"
+  "ablation_sleep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sleep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

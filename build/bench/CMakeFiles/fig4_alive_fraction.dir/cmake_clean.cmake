@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_alive_fraction.dir/fig4_alive_fraction.cpp.o"
+  "CMakeFiles/fig4_alive_fraction.dir/fig4_alive_fraction.cpp.o.d"
+  "fig4_alive_fraction"
+  "fig4_alive_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_alive_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6_latency.cpp" "bench/CMakeFiles/fig6_latency.dir/fig6_latency.cpp.o" "gcc" "bench/CMakeFiles/fig6_latency.dir/fig6_latency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/ecgrid_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ecgrid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/ecgrid_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ecgrid_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/ecgrid_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ecgrid_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/ecgrid_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/ecgrid_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/ecgrid_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/ecgrid_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/ecgrid_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecgrid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ecgrid_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_delivery_rate.dir/fig7_delivery_rate.cpp.o"
+  "CMakeFiles/fig7_delivery_rate.dir/fig7_delivery_rate.cpp.o.d"
+  "fig7_delivery_rate"
+  "fig7_delivery_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_delivery_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_density.dir/fig8_density.cpp.o"
+  "CMakeFiles/fig8_density.dir/fig8_density.cpp.o.d"
+  "fig8_density"
+  "fig8_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convoy_patrol.dir/convoy_patrol.cpp.o"
+  "CMakeFiles/convoy_patrol.dir/convoy_patrol.cpp.o.d"
+  "convoy_patrol"
+  "convoy_patrol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convoy_patrol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("geo")
+subdirs("energy")
+subdirs("mobility")
+subdirs("phy")
+subdirs("mac")
+subdirs("net")
+subdirs("traffic")
+subdirs("stats")
+subdirs("protocols")
+subdirs("core")
+subdirs("harness")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecgrid_core.dir/ecgrid_protocol.cpp.o"
+  "CMakeFiles/ecgrid_core.dir/ecgrid_protocol.cpp.o.d"
+  "libecgrid_core.a"
+  "libecgrid_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecgrid_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ecgrid_core.
+# This may be replaced when dependencies are built.

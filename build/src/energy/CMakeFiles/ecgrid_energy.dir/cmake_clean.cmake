@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecgrid_energy.dir/battery.cpp.o"
+  "CMakeFiles/ecgrid_energy.dir/battery.cpp.o.d"
+  "libecgrid_energy.a"
+  "libecgrid_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecgrid_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

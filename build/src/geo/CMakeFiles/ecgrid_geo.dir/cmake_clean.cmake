@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecgrid_geo.dir/grid.cpp.o"
+  "CMakeFiles/ecgrid_geo.dir/grid.cpp.o.d"
+  "libecgrid_geo.a"
+  "libecgrid_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecgrid_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ecgrid_geo.
+# This may be replaced when dependencies are built.

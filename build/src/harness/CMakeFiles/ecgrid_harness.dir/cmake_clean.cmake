@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecgrid_harness.dir/scenario.cpp.o"
+  "CMakeFiles/ecgrid_harness.dir/scenario.cpp.o.d"
+  "libecgrid_harness.a"
+  "libecgrid_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecgrid_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

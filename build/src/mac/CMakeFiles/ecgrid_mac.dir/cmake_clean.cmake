@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecgrid_mac.dir/csma.cpp.o"
+  "CMakeFiles/ecgrid_mac.dir/csma.cpp.o.d"
+  "libecgrid_mac.a"
+  "libecgrid_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecgrid_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

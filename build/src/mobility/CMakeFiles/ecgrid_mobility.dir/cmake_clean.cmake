@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecgrid_mobility.dir/grid_tracker.cpp.o"
+  "CMakeFiles/ecgrid_mobility.dir/grid_tracker.cpp.o.d"
+  "CMakeFiles/ecgrid_mobility.dir/mobility_model.cpp.o"
+  "CMakeFiles/ecgrid_mobility.dir/mobility_model.cpp.o.d"
+  "CMakeFiles/ecgrid_mobility.dir/random_walk.cpp.o"
+  "CMakeFiles/ecgrid_mobility.dir/random_walk.cpp.o.d"
+  "CMakeFiles/ecgrid_mobility.dir/random_waypoint.cpp.o"
+  "CMakeFiles/ecgrid_mobility.dir/random_waypoint.cpp.o.d"
+  "libecgrid_mobility.a"
+  "libecgrid_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecgrid_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecgrid_net.dir/network.cpp.o"
+  "CMakeFiles/ecgrid_net.dir/network.cpp.o.d"
+  "CMakeFiles/ecgrid_net.dir/node.cpp.o"
+  "CMakeFiles/ecgrid_net.dir/node.cpp.o.d"
+  "libecgrid_net.a"
+  "libecgrid_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecgrid_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

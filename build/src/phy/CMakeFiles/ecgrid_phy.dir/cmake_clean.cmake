@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecgrid_phy.dir/channel.cpp.o"
+  "CMakeFiles/ecgrid_phy.dir/channel.cpp.o.d"
+  "CMakeFiles/ecgrid_phy.dir/paging.cpp.o"
+  "CMakeFiles/ecgrid_phy.dir/paging.cpp.o.d"
+  "CMakeFiles/ecgrid_phy.dir/radio.cpp.o"
+  "CMakeFiles/ecgrid_phy.dir/radio.cpp.o.d"
+  "libecgrid_phy.a"
+  "libecgrid_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecgrid_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/common/election.cpp" "src/protocols/CMakeFiles/ecgrid_protocols.dir/common/election.cpp.o" "gcc" "src/protocols/CMakeFiles/ecgrid_protocols.dir/common/election.cpp.o.d"
+  "/root/repo/src/protocols/common/grid_protocol_base.cpp" "src/protocols/CMakeFiles/ecgrid_protocols.dir/common/grid_protocol_base.cpp.o" "gcc" "src/protocols/CMakeFiles/ecgrid_protocols.dir/common/grid_protocol_base.cpp.o.d"
+  "/root/repo/src/protocols/common/routing_engine.cpp" "src/protocols/CMakeFiles/ecgrid_protocols.dir/common/routing_engine.cpp.o" "gcc" "src/protocols/CMakeFiles/ecgrid_protocols.dir/common/routing_engine.cpp.o.d"
+  "/root/repo/src/protocols/common/routing_table.cpp" "src/protocols/CMakeFiles/ecgrid_protocols.dir/common/routing_table.cpp.o" "gcc" "src/protocols/CMakeFiles/ecgrid_protocols.dir/common/routing_table.cpp.o.d"
+  "/root/repo/src/protocols/common/tables.cpp" "src/protocols/CMakeFiles/ecgrid_protocols.dir/common/tables.cpp.o" "gcc" "src/protocols/CMakeFiles/ecgrid_protocols.dir/common/tables.cpp.o.d"
+  "/root/repo/src/protocols/flooding/flooding_protocol.cpp" "src/protocols/CMakeFiles/ecgrid_protocols.dir/flooding/flooding_protocol.cpp.o" "gcc" "src/protocols/CMakeFiles/ecgrid_protocols.dir/flooding/flooding_protocol.cpp.o.d"
+  "/root/repo/src/protocols/gaf/gaf_protocol.cpp" "src/protocols/CMakeFiles/ecgrid_protocols.dir/gaf/gaf_protocol.cpp.o" "gcc" "src/protocols/CMakeFiles/ecgrid_protocols.dir/gaf/gaf_protocol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ecgrid_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/ecgrid_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/ecgrid_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecgrid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ecgrid_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/ecgrid_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/ecgrid_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/ecgrid_mobility.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

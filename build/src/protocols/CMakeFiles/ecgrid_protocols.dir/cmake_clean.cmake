@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecgrid_protocols.dir/common/election.cpp.o"
+  "CMakeFiles/ecgrid_protocols.dir/common/election.cpp.o.d"
+  "CMakeFiles/ecgrid_protocols.dir/common/grid_protocol_base.cpp.o"
+  "CMakeFiles/ecgrid_protocols.dir/common/grid_protocol_base.cpp.o.d"
+  "CMakeFiles/ecgrid_protocols.dir/common/routing_engine.cpp.o"
+  "CMakeFiles/ecgrid_protocols.dir/common/routing_engine.cpp.o.d"
+  "CMakeFiles/ecgrid_protocols.dir/common/routing_table.cpp.o"
+  "CMakeFiles/ecgrid_protocols.dir/common/routing_table.cpp.o.d"
+  "CMakeFiles/ecgrid_protocols.dir/common/tables.cpp.o"
+  "CMakeFiles/ecgrid_protocols.dir/common/tables.cpp.o.d"
+  "CMakeFiles/ecgrid_protocols.dir/flooding/flooding_protocol.cpp.o"
+  "CMakeFiles/ecgrid_protocols.dir/flooding/flooding_protocol.cpp.o.d"
+  "CMakeFiles/ecgrid_protocols.dir/gaf/gaf_protocol.cpp.o"
+  "CMakeFiles/ecgrid_protocols.dir/gaf/gaf_protocol.cpp.o.d"
+  "libecgrid_protocols.a"
+  "libecgrid_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecgrid_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecgrid_sim.dir/event.cpp.o"
+  "CMakeFiles/ecgrid_sim.dir/event.cpp.o.d"
+  "CMakeFiles/ecgrid_sim.dir/rng.cpp.o"
+  "CMakeFiles/ecgrid_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/ecgrid_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ecgrid_sim.dir/simulator.cpp.o.d"
+  "libecgrid_sim.a"
+  "libecgrid_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecgrid_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libecgrid_sim.a"
+)

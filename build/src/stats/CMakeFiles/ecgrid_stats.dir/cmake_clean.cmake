@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecgrid_stats.dir/energy_recorder.cpp.o"
+  "CMakeFiles/ecgrid_stats.dir/energy_recorder.cpp.o.d"
+  "CMakeFiles/ecgrid_stats.dir/packet_accounting.cpp.o"
+  "CMakeFiles/ecgrid_stats.dir/packet_accounting.cpp.o.d"
+  "CMakeFiles/ecgrid_stats.dir/timeseries.cpp.o"
+  "CMakeFiles/ecgrid_stats.dir/timeseries.cpp.o.d"
+  "CMakeFiles/ecgrid_stats.dir/trace_recorder.cpp.o"
+  "CMakeFiles/ecgrid_stats.dir/trace_recorder.cpp.o.d"
+  "libecgrid_stats.a"
+  "libecgrid_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecgrid_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecgrid_traffic.dir/cbr.cpp.o"
+  "CMakeFiles/ecgrid_traffic.dir/cbr.cpp.o.d"
+  "CMakeFiles/ecgrid_traffic.dir/flow_manager.cpp.o"
+  "CMakeFiles/ecgrid_traffic.dir/flow_manager.cpp.o.d"
+  "libecgrid_traffic.a"
+  "libecgrid_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecgrid_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecgrid_util.dir/flags.cpp.o"
+  "CMakeFiles/ecgrid_util.dir/flags.cpp.o.d"
+  "CMakeFiles/ecgrid_util.dir/log.cpp.o"
+  "CMakeFiles/ecgrid_util.dir/log.cpp.o.d"
+  "libecgrid_util.a"
+  "libecgrid_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecgrid_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ecgrid_protocol_test.cpp" "tests/CMakeFiles/ecgrid_tests.dir/ecgrid_protocol_test.cpp.o" "gcc" "tests/CMakeFiles/ecgrid_tests.dir/ecgrid_protocol_test.cpp.o.d"
+  "/root/repo/tests/election_test.cpp" "tests/CMakeFiles/ecgrid_tests.dir/election_test.cpp.o" "gcc" "tests/CMakeFiles/ecgrid_tests.dir/election_test.cpp.o.d"
+  "/root/repo/tests/energy_test.cpp" "tests/CMakeFiles/ecgrid_tests.dir/energy_test.cpp.o" "gcc" "tests/CMakeFiles/ecgrid_tests.dir/energy_test.cpp.o.d"
+  "/root/repo/tests/gaf_protocol_test.cpp" "tests/CMakeFiles/ecgrid_tests.dir/gaf_protocol_test.cpp.o" "gcc" "tests/CMakeFiles/ecgrid_tests.dir/gaf_protocol_test.cpp.o.d"
+  "/root/repo/tests/geo_test.cpp" "tests/CMakeFiles/ecgrid_tests.dir/geo_test.cpp.o" "gcc" "tests/CMakeFiles/ecgrid_tests.dir/geo_test.cpp.o.d"
+  "/root/repo/tests/grid_protocol_test.cpp" "tests/CMakeFiles/ecgrid_tests.dir/grid_protocol_test.cpp.o" "gcc" "tests/CMakeFiles/ecgrid_tests.dir/grid_protocol_test.cpp.o.d"
+  "/root/repo/tests/mac_test.cpp" "tests/CMakeFiles/ecgrid_tests.dir/mac_test.cpp.o" "gcc" "tests/CMakeFiles/ecgrid_tests.dir/mac_test.cpp.o.d"
+  "/root/repo/tests/messages_test.cpp" "tests/CMakeFiles/ecgrid_tests.dir/messages_test.cpp.o" "gcc" "tests/CMakeFiles/ecgrid_tests.dir/messages_test.cpp.o.d"
+  "/root/repo/tests/mobility_test.cpp" "tests/CMakeFiles/ecgrid_tests.dir/mobility_test.cpp.o" "gcc" "tests/CMakeFiles/ecgrid_tests.dir/mobility_test.cpp.o.d"
+  "/root/repo/tests/net_test.cpp" "tests/CMakeFiles/ecgrid_tests.dir/net_test.cpp.o" "gcc" "tests/CMakeFiles/ecgrid_tests.dir/net_test.cpp.o.d"
+  "/root/repo/tests/phy_test.cpp" "tests/CMakeFiles/ecgrid_tests.dir/phy_test.cpp.o" "gcc" "tests/CMakeFiles/ecgrid_tests.dir/phy_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/ecgrid_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/ecgrid_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/routing_engine_unit_test.cpp" "tests/CMakeFiles/ecgrid_tests.dir/routing_engine_unit_test.cpp.o" "gcc" "tests/CMakeFiles/ecgrid_tests.dir/routing_engine_unit_test.cpp.o.d"
+  "/root/repo/tests/routing_test.cpp" "tests/CMakeFiles/ecgrid_tests.dir/routing_test.cpp.o" "gcc" "tests/CMakeFiles/ecgrid_tests.dir/routing_test.cpp.o.d"
+  "/root/repo/tests/scenario_test.cpp" "tests/CMakeFiles/ecgrid_tests.dir/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/ecgrid_tests.dir/scenario_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/ecgrid_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/ecgrid_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/tables_test.cpp" "tests/CMakeFiles/ecgrid_tests.dir/tables_test.cpp.o" "gcc" "tests/CMakeFiles/ecgrid_tests.dir/tables_test.cpp.o.d"
+  "/root/repo/tests/traffic_stats_test.cpp" "tests/CMakeFiles/ecgrid_tests.dir/traffic_stats_test.cpp.o" "gcc" "tests/CMakeFiles/ecgrid_tests.dir/traffic_stats_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/ecgrid_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/ecgrid_tests.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/ecgrid_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ecgrid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/ecgrid_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ecgrid_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/ecgrid_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ecgrid_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/ecgrid_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/ecgrid_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/ecgrid_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/ecgrid_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/ecgrid_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecgrid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ecgrid_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
