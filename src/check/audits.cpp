@@ -1,0 +1,113 @@
+#include "check/audits.hpp"
+
+#include <sstream>
+
+namespace ecgrid::check {
+
+void GatewayUniquenessAudit::observe(
+    const std::vector<GatewaySighting>& gateways, AuditContext& context) {
+  std::map<geo::GridCoord, std::vector<net::NodeId>> byGrid;
+  for (const GatewaySighting& sighting : gateways) {
+    byGrid[sighting.grid].push_back(sighting.id);
+  }
+
+  // Contested grids: start/extend their conflict clocks; report the ones
+  // whose contest outlived the grace window.
+  std::map<geo::GridCoord, sim::Time> stillContested;
+  for (const auto& [grid, ids] : byGrid) {
+    if (ids.size() <= 1) continue;
+    auto it = conflictSince_.find(grid);
+    sim::Time since = it != conflictSince_.end() ? it->second : context.now();
+    stillContested[grid] = since;
+    if (context.now() - since > conflictGrace_) {
+      std::ostringstream os;
+      os << "grid " << grid << " has " << ids.size() << " gateways (";
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        os << (i != 0 ? ", " : "") << ids[i];
+      }
+      os << ") unresolved for " << context.now() - since << " s";
+      context.report(os.str());
+    }
+  }
+  conflictSince_ = std::move(stillContested);
+}
+
+void SleepTransmitAudit::observe(const std::vector<SleepTxSighting>& hosts,
+                                 AuditContext& context) {
+  std::map<net::NodeId, sim::Time> stillInconsistent;
+  for (const SleepTxSighting& host : hosts) {
+    if (!host.protocolSleeping) continue;
+    const bool radioConsistent = host.radioState == phy::RadioState::kSleep ||
+                                 host.radioState == phy::RadioState::kOff ||
+                                 host.sleepPending;
+    if (radioConsistent) continue;
+    auto it = inconsistentSince_.find(host.id);
+    sim::Time since = it != inconsistentSince_.end() ? it->second
+                                                     : context.now();
+    stillInconsistent[host.id] = since;
+    if (context.now() - since > settleGrace_) {
+      std::ostringstream os;
+      os << "host " << host.id << " has been protocol-sleeping for "
+         << context.now() - since << " s while its radio is "
+         << phy::toString(host.radioState) << " with no sleep pending";
+      context.report(os.str());
+    }
+  }
+  inconsistentSince_ = std::move(stillInconsistent);
+}
+
+void BatteryMonotonicityAudit::observe(net::NodeId id, double remainingJ,
+                                       AuditContext& context) {
+  constexpr double kEpsilonJ = 1e-9;
+  auto it = lastRemaining_.find(id);
+  if (it != lastRemaining_.end() && remainingJ > it->second + kEpsilonJ) {
+    std::ostringstream os;
+    os << "host " << id << " battery rose from " << it->second << " J to "
+       << remainingJ << " J";
+    context.report(os.str());
+  }
+  lastRemaining_[id] = remainingJ;
+}
+
+void RouteLivenessAudit::observe(const std::vector<RouteSighting>& routes,
+                                 AuditContext& context) {
+  for (const RouteSighting& route : routes) {
+    if (route.expired) continue;
+    if (net::isBroadcast(route.nextHop)) continue;
+    if (!route.nextHopExists) {
+      std::ostringstream os;
+      os << "router " << route.owner << " holds a live route to "
+         << route.destination << " via nonexistent host " << route.nextHop;
+      context.report(os.str());
+      continue;
+    }
+    if (route.nextHopAlive) continue;
+    const sim::Time deadFor = context.now() - route.nextHopDeadSince;
+    if (deadFor > deadGrace_) {
+      std::ostringstream os;
+      os << "router " << route.owner << " holds a live route to "
+         << route.destination << " via host " << route.nextHop
+         << " which died " << deadFor << " s ago";
+      context.report(os.str());
+    }
+  }
+}
+
+void EventTimeMonotonicityAudit::observe(sim::Time now, sim::Time nextEventTime,
+                                         AuditContext& context) {
+  if (seen_ && now < lastNow_) {
+    std::ostringstream os;
+    os << "simulation clock regressed from " << lastNow_ << " to " << now;
+    context.report(os.str());
+  }
+  if (nextEventTime < now) {
+    std::ostringstream os;
+    os << "next pending event at " << nextEventTime
+       << " is before the clock at " << now;
+    context.report(os.str());
+  }
+  seen_ = true;
+  lastNow_ = now;
+}
+
+}  // namespace ecgrid::check

@@ -1,0 +1,46 @@
+#include "check/invariant_auditor.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/error.hpp"
+
+namespace ecgrid::check {
+
+void AuditContext::report(const std::string& detail) {
+  owner_.fileViolation(detail, now_);
+}
+
+void InvariantAuditor::add(std::string name, AuditFn fn) {
+  ECGRID_REQUIRE(!name.empty(), "audit needs a name");
+  ECGRID_REQUIRE(fn != nullptr, "audit needs a function");
+  audits_.push_back(NamedAudit{std::move(name), std::move(fn)});
+}
+
+void InvariantAuditor::run(sim::Time now) {
+  ++runs_;
+  for (NamedAudit& audit : audits_) {
+    running_ = &audit.name;
+    AuditContext context(*this, now);
+    audit.fn(context);
+  }
+  running_ = nullptr;
+}
+
+void InvariantAuditor::fileViolation(const std::string& detail,
+                                     sim::Time when) {
+  Violation violation;
+  violation.audit = running_ != nullptr ? *running_ : "<unregistered>";
+  violation.detail = detail;
+  violation.when = when;
+  violations_.push_back(violation);
+  if (mode_ == FailMode::kThrow) {
+    std::ostringstream os;
+    os << "invariant audit '" << violation.audit << "' failed at t=" << when
+       << ": " << detail;
+    running_ = nullptr;
+    throw std::logic_error(os.str());
+  }
+}
+
+}  // namespace ecgrid::check

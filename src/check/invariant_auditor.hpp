@@ -1,0 +1,95 @@
+// Runtime invariant auditing (the "correctness tooling" layer).
+//
+// The paper states invariants the protocol machinery is supposed to keep —
+// one awake gateway per occupied grid, sleeping hosts never transmit,
+// batteries only drain, routing tables point at live successors — but the
+// simulator historically only checked them ad hoc in tests. An
+// InvariantAuditor holds a set of named audit functions; the Simulator's
+// periodic hook (see Simulator::setPeriodicHook) invokes run() every N
+// events so the whole world state is cross-checked continuously while
+// scenarios execute, not just at the end.
+//
+// Audits report through an AuditContext. In FailMode::kThrow (the default,
+// used by the scenario harness) the first violation raises
+// std::logic_error so the run fails loudly at the moment the invariant
+// breaks; FailMode::kRecord collects violations for inspection, which the
+// injection tests use to prove each audit actually fires.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace ecgrid::check {
+
+struct Violation {
+  std::string audit;   ///< name the audit was registered under
+  std::string detail;  ///< human-readable description of the breakage
+  sim::Time when = sim::kTimeZero;
+};
+
+enum class FailMode {
+  kThrow,   ///< throw std::logic_error on the first violation
+  kRecord,  ///< collect violations; caller inspects violations()
+};
+
+class InvariantAuditor;
+
+/// Handed to every audit function while it runs. report() files a
+/// violation against the audit currently executing.
+class AuditContext {
+ public:
+  sim::Time now() const { return now_; }
+  void report(const std::string& detail);
+
+ private:
+  friend class InvariantAuditor;
+  AuditContext(InvariantAuditor& owner, sim::Time now)
+      : owner_(owner), now_(now) {}
+
+  InvariantAuditor& owner_;
+  sim::Time now_;
+};
+
+class InvariantAuditor {
+ public:
+  using AuditFn = std::function<void(AuditContext&)>;
+
+  explicit InvariantAuditor(FailMode mode = FailMode::kThrow) : mode_(mode) {}
+
+  InvariantAuditor(const InvariantAuditor&) = delete;
+  InvariantAuditor& operator=(const InvariantAuditor&) = delete;
+
+  /// Register `fn` under `name`. Audits run in registration order.
+  void add(std::string name, AuditFn fn);
+
+  /// Run every registered audit once against the current world state.
+  void run(sim::Time now);
+
+  FailMode mode() const { return mode_; }
+  std::uint64_t runs() const { return runs_; }
+  std::size_t auditCount() const { return audits_.size(); }
+  const std::vector<Violation>& violations() const { return violations_; }
+  void clearViolations() { violations_.clear(); }
+
+ private:
+  friend class AuditContext;
+  void fileViolation(const std::string& detail, sim::Time when);
+
+  struct NamedAudit {
+    std::string name;
+    AuditFn fn;
+  };
+
+  FailMode mode_;
+  std::vector<NamedAudit> audits_;
+  std::vector<Violation> violations_;
+  std::uint64_t runs_ = 0;
+  const std::string* running_ = nullptr;  ///< name of the audit executing
+};
+
+}  // namespace ecgrid::check

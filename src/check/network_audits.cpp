@@ -1,0 +1,115 @@
+#include "check/network_audits.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "check/audits.hpp"
+#include "protocols/common/grid_protocol_base.hpp"
+#include "protocols/gaf/gaf_protocol.hpp"
+
+namespace ecgrid::check {
+
+namespace {
+
+bool protocolSleeping(net::Node& node) {
+  if (const auto* grid =
+          dynamic_cast<const protocols::GridProtocolBase*>(&node.protocol())) {
+    return grid->role() == protocols::GridProtocolBase::Role::kSleeping;
+  }
+  if (const auto* gaf =
+          dynamic_cast<const protocols::GafProtocol*>(&node.protocol())) {
+    return gaf->state() == protocols::GafProtocol::State::kSleep;
+  }
+  return false;
+}
+
+/// When a dead next hop never recorded a battery death time (it cannot
+/// happen today — hosts only die by depletion — but the audit should not
+/// crash if a future death path forgets), date the death at first sight.
+sim::Time deadSince(net::Node& node, sim::Time now) {
+  sim::Time death = node.batteryRef().deathTime();
+  return death == sim::kTimeNever ? now : death;
+}
+
+}  // namespace
+
+void installStandardAudits(InvariantAuditor& auditor, net::Network& network,
+                           const StandardAuditOptions& options) {
+  auto gatewayAudit =
+      std::make_shared<GatewayUniquenessAudit>(options.gatewayConflictGrace);
+  auditor.add("gateway-uniqueness", [&network, gatewayAudit](
+                                        AuditContext& context) {
+    std::vector<GatewaySighting> sightings;
+    for (auto& node : network.nodes()) {
+      auto* grid =
+          dynamic_cast<protocols::GridProtocolBase*>(&node->protocol());
+      if (grid == nullptr || !grid->servedGrid().has_value()) continue;
+      sightings.push_back(GatewaySighting{*grid->servedGrid(), node->id()});
+    }
+    gatewayAudit->observe(sightings, context);
+  });
+
+  auto sleepAudit =
+      std::make_shared<SleepTransmitAudit>(options.sleepSettleGrace);
+  auditor.add("no-tx-while-sleeping", [&network,
+                                       sleepAudit](AuditContext& context) {
+    std::vector<SleepTxSighting> sightings;
+    for (auto& node : network.nodes()) {
+      SleepTxSighting sighting;
+      sighting.id = node->id();
+      sighting.protocolSleeping = protocolSleeping(*node);
+      sighting.radioState = node->radio().state();
+      sighting.sleepPending = node->radio().sleepPending();
+      sightings.push_back(sighting);
+    }
+    sleepAudit->observe(sightings, context);
+  });
+
+  auto batteryAudit = std::make_shared<BatteryMonotonicityAudit>();
+  auditor.add("battery-monotonicity", [&network,
+                                       batteryAudit](AuditContext& context) {
+    for (auto& node : network.nodes()) {
+      batteryAudit->observe(node->id(),
+                            node->batteryRef().remainingJ(context.now()),
+                            context);
+    }
+  });
+
+  auto routeAudit =
+      std::make_shared<RouteLivenessAudit>(options.deadNextHopGrace);
+  auditor.add("route-next-hop-liveness", [&network,
+                                          routeAudit](AuditContext& context) {
+    std::vector<RouteSighting> sightings;
+    for (auto& node : network.nodes()) {
+      auto* grid =
+          dynamic_cast<protocols::GridProtocolBase*>(&node->protocol());
+      if (grid == nullptr || !node->alive()) continue;
+      for (const auto& [destination, entry] :
+           grid->routingEngine().routes().entries()) {
+        RouteSighting sighting;
+        sighting.owner = node->id();
+        sighting.destination = destination;
+        sighting.nextHop = entry.nextHop;
+        sighting.expired = entry.expiry < context.now();
+        net::Node* hop = network.findNode(entry.nextHop);
+        sighting.nextHopExists =
+            hop != nullptr || net::isBroadcast(entry.nextHop);
+        sighting.nextHopAlive = hop != nullptr && hop->alive();
+        if (hop != nullptr && !hop->alive()) {
+          sighting.nextHopDeadSince = deadSince(*hop, context.now());
+        }
+        sightings.push_back(sighting);
+      }
+    }
+    routeAudit->observe(sightings, context);
+  });
+
+  auto timeAudit = std::make_shared<EventTimeMonotonicityAudit>();
+  auditor.add("event-time-monotonicity",
+              [&network, timeAudit](AuditContext& context) {
+                sim::Simulator& sim = network.simulator();
+                timeAudit->observe(sim.now(), sim.nextEventTime(), context);
+              });
+}
+
+}  // namespace ecgrid::check

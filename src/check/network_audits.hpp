@@ -1,0 +1,40 @@
+// Binds the standard audits (audits.hpp) to a live net::Network.
+//
+// installStandardAudits() registers the five shipped invariant audits on
+// an InvariantAuditor, each one snapshotting the network into observation
+// structs on every run. The usual wiring (done by the scenario harness
+// when ScenarioConfig::auditInvariants is set):
+//
+//   check::InvariantAuditor auditor;                 // throws on violation
+//   check::installStandardAudits(auditor, network);
+//   simulator.setPeriodicHook(
+//       auditPeriodEvents, [&] { auditor.run(simulator.now()); });
+//
+// The auditor must not outlive the network.
+#pragma once
+
+#include "check/invariant_auditor.hpp"
+#include "net/network.hpp"
+
+namespace ecgrid::check {
+
+struct StandardAuditOptions {
+  /// Seconds two gateways may contest one grid before it is a violation
+  /// (split-brain elections legitimately occur under HELLO collisions and
+  /// resolve via the gflag exchange; persistence is the bug).
+  sim::Time gatewayConflictGrace = 5.0;
+  /// Seconds a live route entry may keep pointing at a dead next hop
+  /// before it is a violation (covers RERR propagation and route repair).
+  sim::Time deadNextHopGrace = 15.0;
+  /// Seconds a host may claim sleep while its radio is still up (ECGRID's
+  /// SLEEP notice drains through the MAC before the radio powers down).
+  sim::Time sleepSettleGrace = 1.0;
+};
+
+/// Register the five standard audits — gateway uniqueness, no-TX-while-
+/// sleeping, battery monotonicity, route next-hop liveness, event-time
+/// monotonicity — against `network` and its simulator.
+void installStandardAudits(InvariantAuditor& auditor, net::Network& network,
+                           const StandardAuditOptions& options = {});
+
+}  // namespace ecgrid::check

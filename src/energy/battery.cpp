@@ -104,6 +104,14 @@ void Battery::drain(double joules, sim::Time now) {
   }
 }
 
+void Battery::injectJ(double joules, sim::Time now) {
+  ECGRID_REQUIRE(joules >= 0.0, "cannot inject negative energy");
+  advanceTo(now);
+  if (infinite_) return;
+  remainingJ_ += joules;
+  if (remainingJ_ > capacityJ_) remainingJ_ = capacityJ_;
+}
+
 double Battery::timeToEmpty(sim::Time now) {
   if (infinite_) return std::numeric_limits<double>::infinity();
   advanceTo(now);

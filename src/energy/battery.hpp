@@ -64,6 +64,12 @@ class Battery {
   /// batteries beyond the consumption ledger.
   void drain(double joules, sim::Time now);
 
+  /// Fault injection ONLY: add `joules` back at `now`, capped at capacity.
+  /// Real batteries in this model never recharge — the invariant-audit
+  /// tests use this to fabricate the monotonicity violation the auditor
+  /// must catch. No-op for infinite batteries.
+  void injectJ(double joules, sim::Time now);
+
   double currentPowerW() const { return powerW_; }
 
   /// Time from `now` until the battery empties at the current draw;

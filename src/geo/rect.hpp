@@ -25,8 +25,10 @@ struct GridRect {
   }
 
   constexpr std::int64_t cellCount() const {
-    return static_cast<std::int64_t>(hi.x - lo.x + 1) *
-           static_cast<std::int64_t>(hi.y - lo.y + 1);
+    // Widen before subtracting: everywhere() spans ±2^30, so the spans
+    // themselves (let alone their product) overflow 32-bit arithmetic.
+    return (static_cast<std::int64_t>(hi.x) - lo.x + 1) *
+           (static_cast<std::int64_t>(hi.y) - lo.y + 1);
   }
 
   /// Smallest rectangle covering both cells.

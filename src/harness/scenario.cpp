@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "check/network_audits.hpp"
 #include "mobility/random_waypoint.hpp"
 #include "protocols/flooding/flooding_protocol.hpp"
 #include "protocols/grid/grid_protocol.hpp"
@@ -143,9 +144,20 @@ ScenarioResult runScenario(const ScenarioConfig& config) {
   traffic::FlowManager flows(network, plan, accounting,
                              simulator.rng().stream("flows"));
 
+  check::InvariantAuditor auditor(check::FailMode::kThrow);
+  if (config.auditInvariants) {
+    check::installStandardAudits(auditor, network);
+    simulator.setPeriodicHook(config.auditPeriodEvents,
+                              [&] { auditor.run(simulator.now()); });
+  }
+
   network.start();
   simulator.run(config.duration);
   recorder.sample();  // closing sample at the horizon
+  if (config.auditInvariants) {
+    auditor.run(simulator.now());  // closing sweep at the horizon
+    simulator.setPeriodicHook(0, nullptr);
+  }
 
   ScenarioResult result;
   result.aliveFraction = recorder.aliveFraction();
@@ -164,6 +176,7 @@ ScenarioResult runScenario(const ScenarioConfig& config) {
   result.framesTransmitted = network.channel().framesTransmitted();
   result.pagesSent = network.paging().pagesSent();
   result.eventsExecuted = simulator.eventsExecuted();
+  result.auditRuns = auditor.runs();
 
   for (auto& nodePtr : network.nodes()) {
     result.macFramesSent += nodePtr->mac().framesSent();

@@ -58,6 +58,13 @@ struct ScenarioConfig {
   double sampleInterval = 10.0;
   std::uint64_t seed = 1;
 
+  // invariant auditing (src/check): when enabled, the standard audits run
+  // every `auditPeriodEvents` executed events and a violation aborts the
+  // run with std::logic_error. Tests keep this on; benches leave it off
+  // so figure numbers are not perturbed by audit-time battery reads.
+  bool auditInvariants = false;
+  std::uint64_t auditPeriodEvents = 2000;
+
   // GAF Model 1 (paper §4): ten extra infinite-energy endpoint hosts
   // source/sink all traffic; the `hostCount` finite hosts only forward.
   bool gafModelOne = true;
@@ -97,6 +104,7 @@ struct ScenarioResult {
   std::uint64_t framesTransmitted = 0;  ///< MAC frames on the air
   std::uint64_t pagesSent = 0;          ///< RAS pages
   std::uint64_t eventsExecuted = 0;
+  std::uint64_t auditRuns = 0;  ///< invariant-audit sweeps completed
   std::uint64_t macFramesSent = 0;      ///< frames handed off successfully
   std::uint64_t macFramesDropped = 0;   ///< MAC-level drops (all causes)
   std::uint64_t macRetransmissions = 0; ///< ARQ retransmissions

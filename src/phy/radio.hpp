@@ -47,6 +47,8 @@ class Radio {
   RadioState state() const { return state_; }
   bool sleeping() const { return state_ == RadioState::kSleep; }
   bool dead() const { return state_ == RadioState::kOff; }
+  /// True while a sleep() is deferred behind an in-flight transmission.
+  bool sleepPending() const { return sleepPending_; }
 
   /// Wired once by the Node / network builder.
   void attachChannel(Channel* channel) { channel_ = channel; }

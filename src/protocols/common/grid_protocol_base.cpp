@@ -87,6 +87,7 @@ void GridProtocolBase::setRole(Role role) {
   if (role_ == role) return;
   Role old = role_;
   role_ = role;
+  if (old == Role::kGateway) servedGrid_.reset();
   ECGRID_LOG_DEBUG(kTag, "node " << env_.id() << " role "
                                  << static_cast<int>(old) << " -> "
                                  << static_cast<int>(role));
@@ -222,6 +223,7 @@ void GridProtocolBase::becomeGateway() {
     hostTable_.clear();
   }
   setRole(Role::kGateway);
+  servedGrid_ = env_.cell();
   currentGateway_ = env_.id();
   lastGatewayHello_ = env_.simulator().now();
   // Seed the host table from the HELLOs collected while we were a mere

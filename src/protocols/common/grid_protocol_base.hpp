@@ -74,7 +74,13 @@ class GridProtocolBase : public net::RoutingProtocol {
   Role role() const { return role_; }
   bool isGateway() const { return role_ == Role::kGateway; }
   std::optional<net::NodeId> currentGateway() const { return currentGateway_; }
+  /// Grid this host is currently gateway of (set while Role::kGateway,
+  /// including the retire window after the host left the cell). Used by
+  /// the invariant auditor's gateway-uniqueness check.
+  std::optional<geo::GridCoord> servedGrid() const { return servedGrid_; }
   const RoutingStats& routingStats() const { return engine_.stats(); }
+  /// Routing engine introspection for audits and fault-injection tests.
+  RoutingEngine& routingEngine() { return engine_; }
   const GridProtocolConfig& config() const { return config_; }
 
  protected:
@@ -145,6 +151,7 @@ class GridProtocolBase : public net::RoutingProtocol {
   sim::RngStream rng_;
 
   Role role_ = Role::kUndecided;
+  std::optional<geo::GridCoord> servedGrid_;
   std::optional<net::NodeId> currentGateway_;
   sim::Time lastGatewayHello_ = sim::kTimeZero;
   sim::Time lastHelloSent_ = -1.0;

@@ -62,6 +62,10 @@ class RoutingTable {
   std::size_t size() const { return routes_.size(); }
   sim::Time lifetime() const { return lifetime_; }
 
+  /// Raw view of every entry, expired or not — the invariant auditor
+  /// walks this to cross-check next hops against the host population.
+  const std::map<net::NodeId, RouteEntry>& entries() const { return routes_; }
+
  private:
   sim::Time lifetime_;
   std::map<net::NodeId, RouteEntry> routes_;

@@ -16,6 +16,14 @@ EventHandle Simulator::scheduleAt(Time when, std::function<void()> action) {
   return queue_.push(when, std::move(action));
 }
 
+void Simulator::setPeriodicHook(std::uint64_t everyEvents,
+                                std::function<void()> hook) {
+  ECGRID_REQUIRE(everyEvents > 0 || !hook,
+                 "periodic hook needs a positive event period");
+  hookEvery_ = everyEvents;
+  hook_ = std::move(hook);
+}
+
 bool Simulator::step(Time until) {
   if (queue_.peekTime() > until) return false;
   auto record = queue_.pop();
@@ -23,6 +31,7 @@ bool Simulator::step(Time until) {
   now_ = record->time;
   ++eventsExecuted_;
   record->action();
+  if (hook_ && eventsExecuted_ % hookEvery_ == 0) hook_();
   return true;
 }
 

@@ -46,12 +46,23 @@ class Simulator {
 
   std::uint64_t eventsExecuted() const { return eventsExecuted_; }
 
+  /// Time of the next live event, or kTimeNever when the queue is empty.
+  Time nextEventTime() { return queue_.peekTime(); }
+
+  /// Install `hook` to run after every `everyEvents`-th executed event
+  /// (the invariant auditor hangs off this). The hook must not assume it
+  /// runs at any particular simulation time; it may inspect state but
+  /// should not schedule events. Pass an empty function to uninstall.
+  void setPeriodicHook(std::uint64_t everyEvents, std::function<void()> hook);
+
   const RngFactory& rng() const { return rngFactory_; }
 
  private:
   Time now_ = kTimeZero;
   bool stopRequested_ = false;
   std::uint64_t eventsExecuted_ = 0;
+  std::uint64_t hookEvery_ = 0;
+  std::function<void()> hook_;
   EventQueue queue_;
   RngFactory rngFactory_;
 };

@@ -80,6 +80,7 @@ TEST(Conservation, PowerDrawStaysWithinPhysicalBounds) {
   config.duration = 100.0;
   config.flowCount = 2;
   config.packetsPerSecondPerFlow = 5.0;
+  config.auditInvariants = true;
   harness::ScenarioResult result = harness::runScenario(config);
   double aen = result.aen.valueAt(100.0);
   double meanW = aen * 500.0 / 100.0;
@@ -144,6 +145,7 @@ TEST(Stress, SurvivesWideInterferenceRing) {
   config.hostCount = 60;
   config.duration = 120.0;
   config.interferenceRangeFactor = 2.0;
+  config.auditInvariants = true;
   harness::ScenarioResult result = harness::runScenario(config);
   EXPECT_GT(result.deliveryRate, 0.9);
 }
@@ -159,6 +161,7 @@ TEST_P(ChurnDeterminism, TwoRunsIdentical) {
   config.maxSpeed = 10.0;
   config.duration = 90.0;
   config.seed = 99;
+  config.auditInvariants = true;
   harness::ScenarioResult a = harness::runScenario(config);
   harness::ScenarioResult b = harness::runScenario(config);
   EXPECT_EQ(a.eventsExecuted, b.eventsExecuted);

@@ -16,6 +16,9 @@ ScenarioConfig smallBase() {
   config.packetsPerSecondPerFlow = 10.0;
   config.duration = 120.0;
   config.seed = 7;
+  // Every harness-driven test also sweeps the runtime invariant audits;
+  // a violation anywhere aborts the run and fails the test.
+  config.auditInvariants = true;
   return config;
 }
 

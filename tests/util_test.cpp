@@ -1,6 +1,8 @@
 // Tests for utilities: flags parsing, contract macros, logging plumbing.
 #include <gtest/gtest.h>
 
+#include <cctype>
+
 #include "util/error.hpp"
 #include "util/flags.hpp"
 #include "util/log.hpp"
@@ -74,6 +76,63 @@ TEST(Contracts, MessagesCarryContext) {
     std::string what = e.what();
     EXPECT_NE(what.find("1 == 2"), std::string::npos);
     EXPECT_NE(what.find("one is not two"), std::string::npos);
+  }
+}
+
+TEST(Contracts, RequireMessageCarriesFileAndLine) {
+  try {
+    ECGRID_REQUIRE(2 + 2 == 5, "arithmetic is safe");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos);
+    EXPECT_NE(what.find("util_test.cpp"), std::string::npos);
+    // file:line — a colon followed by digits after the file name.
+    auto colon = what.find("util_test.cpp:");
+    ASSERT_NE(colon, std::string::npos);
+    EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(
+        what[colon + std::string("util_test.cpp:").size()])));
+    EXPECT_NE(what.find("arithmetic is safe"), std::string::npos);
+  }
+}
+
+TEST(Contracts, CheckMessageCarriesExpressionFileLineAndDetail) {
+  try {
+    ECGRID_CHECK(0 > 1, "zero outranked one");
+    FAIL();
+  } catch (const std::logic_error& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("invariant violated"), std::string::npos);
+    EXPECT_NE(what.find("0 > 1"), std::string::npos);
+    auto colon = what.find("util_test.cpp:");
+    ASSERT_NE(colon, std::string::npos);
+    EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(
+        what[colon + std::string("util_test.cpp:").size()])));
+    EXPECT_NE(what.find("zero outranked one"), std::string::npos);
+  }
+}
+
+TEST(Contracts, CheckIsNotCaughtAsInvalidArgument) {
+  // The two macros throw distinct types so callers can tell caller
+  // contract breaches from internal invariant breakage.
+  bool caughtAsInvalidArgument = false;
+  try {
+    ECGRID_CHECK(false, "");
+  } catch (const std::invalid_argument&) {
+    caughtAsInvalidArgument = true;
+  } catch (const std::logic_error&) {
+  }
+  EXPECT_FALSE(caughtAsInvalidArgument);
+}
+
+TEST(Contracts, EmptyMessageOmitsSeparator) {
+  try {
+    ECGRID_REQUIRE(false, "");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("requirement failed"), std::string::npos);
+    EXPECT_EQ(what.find("—"), std::string::npos);
   }
 }
 
