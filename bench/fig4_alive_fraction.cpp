@@ -14,33 +14,56 @@ int main() {
 
   const std::vector<double> sampleTimes = {100, 300, 590, 800, 1000,
                                            1200, 1500, 2000};
+  const std::vector<double> speeds = {1.0, 10.0};
+  const std::vector<ProtocolKind> protocols = {
+      ProtocolKind::kGrid, ProtocolKind::kEcgrid, ProtocolKind::kGaf};
   const double duration = bench::quickMode() ? 800.0 : 2000.0;
 
   std::printf("Figure 4 — fraction of alive hosts vs simulation time\n");
   std::printf("(100 hosts, 10 pkt/s, pause 0; paper: GRID down at 590 s, "
               "ECGRID/GAF extend lifetime, GAF slightly ahead)\n");
 
-  for (double speed : {1.0, 10.0}) {
-    std::printf("\n(%c) roaming speed = %.0f m/s\n", speed == 1.0 ? 'a' : 'b',
-                speed);
-    bench::printHeaderTimes("t (s)", sampleTimes);
-    std::vector<stats::TimeSeries> csv;
-    for (ProtocolKind protocol :
-         {ProtocolKind::kGrid, ProtocolKind::kEcgrid, ProtocolKind::kGaf}) {
+  bench::WallTimer timer;
+  bench::BenchReport report("fig4_alive_fraction");
+
+  // Flatten the (speed × protocol) sweep so independent runs can spread
+  // across ECGRID_BENCH_JOBS threads; results come back in input order.
+  std::vector<harness::ScenarioConfig> configs;
+  for (double speed : speeds) {
+    for (ProtocolKind protocol : protocols) {
       harness::ScenarioConfig config = bench::paperBaseline();
       config.protocol = protocol;
       config.maxSpeed = speed;
       config.duration = duration;
-      harness::ScenarioResult result = harness::runScenario(config);
+      bench::applyHorizonCap(config);
+      configs.push_back(config);
+    }
+  }
+  std::vector<harness::ScenarioResult> results =
+      harness::runScenariosParallel(configs, bench::benchJobs());
+  report.addRuns(results);
+
+  std::size_t run = 0;
+  for (double speed : speeds) {
+    std::printf("\n(%c) roaming speed = %.0f m/s\n", speed == 1.0 ? 'a' : 'b',
+                speed);
+    bench::printHeaderTimes("t (s)", sampleTimes);
+    std::vector<stats::TimeSeries> csv;
+    for (ProtocolKind protocol : protocols) {
+      const harness::ScenarioResult& result = results[run++];
       bench::printSampled(harness::toString(protocol), result.aliveFraction,
                           sampleTimes);
-      stats::TimeSeries labelled(std::string(harness::toString(protocol)) +
-                                 "_alive");
+      char label[64];
+      std::snprintf(label, sizeof label, "%s_alive_speed%.0f",
+                    harness::toString(protocol), speed);
+      stats::TimeSeries labelled(label);
       for (auto [t, v] : result.aliveFraction.points()) labelled.add(t, v);
       csv.push_back(std::move(labelled));
     }
+    report.addSeries(csv);
     bench::writeSeries(
         speed == 1.0 ? "fig4a_alive_speed1" : "fig4b_alive_speed10", csv);
   }
+  report.write(timer.seconds());
   return 0;
 }

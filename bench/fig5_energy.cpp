@@ -13,31 +13,50 @@ int main() {
 
   const std::vector<double> sampleTimes = {100, 200, 300, 400, 500,
                                            590, 800, 1200, 2000};
+  const std::vector<double> speeds = {1.0, 10.0};
+  const std::vector<ProtocolKind> protocols = {
+      ProtocolKind::kGrid, ProtocolKind::kEcgrid, ProtocolKind::kGaf};
   const double duration = bench::quickMode() ? 800.0 : 2000.0;
 
   std::printf("Figure 5 — mean energy consumption per host (aen) vs time\n");
   std::printf("(paper: before 590 s, GRID ~33%% above ECGRID and ~38%% "
               "above GAF)\n");
 
-  for (double speed : {1.0, 10.0}) {
+  bench::WallTimer timer;
+  bench::BenchReport report("fig5_energy");
+
+  std::vector<harness::ScenarioConfig> configs;
+  for (double speed : speeds) {
+    for (ProtocolKind protocol : protocols) {
+      harness::ScenarioConfig config = bench::paperBaseline();
+      config.protocol = protocol;
+      config.maxSpeed = speed;
+      config.duration = duration;
+      bench::applyHorizonCap(config);
+      configs.push_back(config);
+    }
+  }
+  std::vector<harness::ScenarioResult> results =
+      harness::runScenariosParallel(configs, bench::benchJobs());
+  report.addRuns(results);
+
+  std::size_t run = 0;
+  for (double speed : speeds) {
     std::printf("\n(%c) roaming speed = %.0f m/s\n", speed == 1.0 ? 'a' : 'b',
                 speed);
     bench::printHeaderTimes("t (s)", sampleTimes);
     std::vector<stats::TimeSeries> csv;
     double aenAt500[3] = {0, 0, 0};
     int idx = 0;
-    for (ProtocolKind protocol :
-         {ProtocolKind::kGrid, ProtocolKind::kEcgrid, ProtocolKind::kGaf}) {
-      harness::ScenarioConfig config = bench::paperBaseline();
-      config.protocol = protocol;
-      config.maxSpeed = speed;
-      config.duration = duration;
-      harness::ScenarioResult result = harness::runScenario(config);
+    for (ProtocolKind protocol : protocols) {
+      const harness::ScenarioResult& result = results[run++];
       bench::printSampled(harness::toString(protocol), result.aen,
                           sampleTimes);
       aenAt500[idx++] = result.aen.valueAt(500.0);
-      stats::TimeSeries labelled(std::string(harness::toString(protocol)) +
-                                 "_aen");
+      char label[64];
+      std::snprintf(label, sizeof label, "%s_aen_speed%.0f",
+                    harness::toString(protocol), speed);
+      stats::TimeSeries labelled(label);
       for (auto [t, v] : result.aen.points()) labelled.add(t, v);
       csv.push_back(std::move(labelled));
     }
@@ -46,9 +65,18 @@ int main() {
                   aenAt500[0] / aenAt500[1]);
       std::printf("  GRID/GAF    aen ratio at t=500: %.2f (paper ~1.38)\n",
                   aenAt500[0] / aenAt500[2]);
+      char metric[64];
+      std::snprintf(metric, sizeof metric, "grid_ecgrid_aen_ratio_speed%.0f",
+                    speed);
+      report.addMetric(metric, aenAt500[0] / aenAt500[1]);
+      std::snprintf(metric, sizeof metric, "grid_gaf_aen_ratio_speed%.0f",
+                    speed);
+      report.addMetric(metric, aenAt500[0] / aenAt500[2]);
     }
+    report.addSeries(csv);
     bench::writeSeries(speed == 1.0 ? "fig5a_aen_speed1" : "fig5b_aen_speed10",
                        csv);
   }
+  report.write(timer.seconds());
   return 0;
 }

@@ -14,6 +14,9 @@ int main() {
   const std::vector<double> pauseTimes =
       bench::quickMode() ? std::vector<double>{0, 300, 600}
                          : std::vector<double>{0, 150, 300, 450, 600};
+  const std::vector<double> speeds = {1.0, 10.0};
+  const std::vector<ProtocolKind> protocols = {
+      ProtocolKind::kGrid, ProtocolKind::kEcgrid, ProtocolKind::kGaf};
   const int seeds = bench::seedCount(bench::quickMode() ? 1 : 2);
   const double horizon = bench::quickMode() ? 300.0 : 590.0;
 
@@ -22,21 +25,13 @@ int main() {
               "everywhere)\n",
               horizon, seeds);
 
-  for (double speed : {1.0, 10.0}) {
-    std::printf("\n(%c) roaming speed = %.0f m/s\n", speed == 1.0 ? 'a' : 'b',
-                speed);
-    std::printf("  %-22s", "pause (s)");
-    for (double p : pauseTimes) std::printf(" %6.0f", p);
-    std::printf("\n");
+  bench::WallTimer timer;
+  bench::BenchReport report("fig7_delivery_rate");
 
-    std::vector<stats::TimeSeries> csv;
-    for (ProtocolKind protocol :
-         {ProtocolKind::kGrid, ProtocolKind::kEcgrid, ProtocolKind::kGaf}) {
-      stats::TimeSeries row(std::string(harness::toString(protocol)) +
-                            "_pdr_pct");
-      std::printf("  %-22s", harness::toString(protocol));
+  std::vector<harness::ScenarioConfig> configs;
+  for (double speed : speeds) {
+    for (ProtocolKind protocol : protocols) {
       for (double pause : pauseTimes) {
-        double sum = 0.0;
         for (int seed = 0; seed < seeds; ++seed) {
           harness::ScenarioConfig config = bench::paperBaseline();
           config.protocol = protocol;
@@ -44,8 +39,35 @@ int main() {
           config.pauseTime = pause;
           config.duration = horizon;
           config.seed = static_cast<std::uint64_t>(1 + seed);
-          harness::ScenarioResult result = harness::runScenario(config);
-          sum += 100.0 * result.deliveryRate;
+          bench::applyHorizonCap(config);
+          configs.push_back(config);
+        }
+      }
+    }
+  }
+  std::vector<harness::ScenarioResult> results =
+      harness::runScenariosParallel(configs, bench::benchJobs());
+  report.addRuns(results);
+
+  std::size_t run = 0;
+  for (double speed : speeds) {
+    std::printf("\n(%c) roaming speed = %.0f m/s\n", speed == 1.0 ? 'a' : 'b',
+                speed);
+    std::printf("  %-22s", "pause (s)");
+    for (double p : pauseTimes) std::printf(" %6.0f", p);
+    std::printf("\n");
+
+    std::vector<stats::TimeSeries> csv;
+    for (ProtocolKind protocol : protocols) {
+      char label[64];
+      std::snprintf(label, sizeof label, "%s_pdr_pct_speed%.0f",
+                    harness::toString(protocol), speed);
+      stats::TimeSeries row(label);
+      std::printf("  %-22s", harness::toString(protocol));
+      for (double pause : pauseTimes) {
+        double sum = 0.0;
+        for (int seed = 0; seed < seeds; ++seed) {
+          sum += 100.0 * results[run++].deliveryRate;
         }
         double pct = sum / seeds;
         std::printf(" %6.2f", pct);
@@ -54,8 +76,10 @@ int main() {
       std::printf("\n");
       csv.push_back(std::move(row));
     }
+    report.addSeries(csv);
     bench::writeSeries(
         speed == 1.0 ? "fig7a_pdr_speed1" : "fig7b_pdr_speed10", csv);
   }
+  report.write(timer.seconds());
   return 0;
 }

@@ -19,40 +19,61 @@ int main() {
                          : std::vector<int>{50, 100, 150, 200};
   const std::vector<double> sampleTimes = {300, 590, 700, 800, 1000,
                                            1200, 1600, 2000};
+  const std::vector<double> speeds = {1.0, 10.0};
+  const std::vector<ProtocolKind> protocols = {ProtocolKind::kGrid,
+                                               ProtocolKind::kEcgrid};
   const double duration = bench::quickMode() ? 800.0 : 2000.0;
 
   std::printf("Figure 8 — alive fraction vs time, by host density\n");
   std::printf("(paper: GRID flat in density; ECGRID lifetime grows with "
               "density)\n");
 
-  for (double speed : {1.0, 10.0}) {
-    std::printf("\n(%c) roaming speed = %.0f m/s\n", speed == 1.0 ? 'a' : 'b',
-                speed);
-    bench::printHeaderTimes("t (s)", sampleTimes);
-    std::vector<stats::TimeSeries> csv;
-    for (ProtocolKind protocol :
-         {ProtocolKind::kGrid, ProtocolKind::kEcgrid}) {
+  bench::WallTimer timer;
+  bench::BenchReport report("fig8_density");
+
+  std::vector<harness::ScenarioConfig> configs;
+  for (double speed : speeds) {
+    for (ProtocolKind protocol : protocols) {
       for (int hosts : densities) {
         harness::ScenarioConfig config = bench::paperBaseline();
         config.protocol = protocol;
         config.hostCount = hosts;
         config.maxSpeed = speed;
         config.duration = duration;
-        harness::ScenarioResult result = harness::runScenario(config);
+        bench::applyHorizonCap(config);
+        configs.push_back(config);
+      }
+    }
+  }
+  std::vector<harness::ScenarioResult> results =
+      harness::runScenariosParallel(configs, bench::benchJobs());
+  report.addRuns(results);
+
+  std::size_t run = 0;
+  for (double speed : speeds) {
+    std::printf("\n(%c) roaming speed = %.0f m/s\n", speed == 1.0 ? 'a' : 'b',
+                speed);
+    bench::printHeaderTimes("t (s)", sampleTimes);
+    std::vector<stats::TimeSeries> csv;
+    for (ProtocolKind protocol : protocols) {
+      for (int hosts : densities) {
+        const harness::ScenarioResult& result = results[run++];
         char label[64];
         std::snprintf(label, sizeof label, "%s n=%d",
                       harness::toString(protocol), hosts);
         bench::printSampled(label, result.aliveFraction, sampleTimes);
         char csvLabel[64];
-        std::snprintf(csvLabel, sizeof csvLabel, "%s_n%d",
-                      harness::toString(protocol), hosts);
+        std::snprintf(csvLabel, sizeof csvLabel, "%s_n%d_speed%.0f",
+                      harness::toString(protocol), hosts, speed);
         stats::TimeSeries labelled(csvLabel);
         for (auto [t, v] : result.aliveFraction.points()) labelled.add(t, v);
         csv.push_back(std::move(labelled));
       }
     }
+    report.addSeries(csv);
     bench::writeSeries(
         speed == 1.0 ? "fig8a_density_speed1" : "fig8b_density_speed10", csv);
   }
+  report.write(timer.seconds());
   return 0;
 }

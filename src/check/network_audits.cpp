@@ -1,6 +1,7 @@
 #include "check/network_audits.hpp"
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "check/audits.hpp"
@@ -110,6 +111,19 @@ void installStandardAudits(InvariantAuditor& auditor, net::Network& network,
                 sim::Simulator& sim = network.simulator();
                 timeAudit->observe(sim.now(), sim.nextEventTime(), context);
               });
+
+  // Channel bookkeeping: every alive host holds exactly one live channel
+  // attachment (dead hosts detach in onDeath), so a drifting count means
+  // a leaked tombstone slot or a double detach.
+  auditor.add("channel-attachment-count", [&network](AuditContext& context) {
+    std::size_t live = network.channel().liveAttachmentCount();
+    std::size_t alive = network.aliveCount();
+    if (live != alive) {
+      context.report("channel has " + std::to_string(live) +
+                     " live attachments but " + std::to_string(alive) +
+                     " hosts are alive");
+    }
+  });
 }
 
 }  // namespace ecgrid::check

@@ -1,0 +1,51 @@
+#include "harness/parallel_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <thread>
+
+namespace ecgrid::harness {
+
+std::vector<ScenarioResult> runScenariosParallel(
+    const std::vector<ScenarioConfig>& configs, unsigned jobs) {
+  const std::size_t count = configs.size();
+  std::vector<ScenarioResult> results(count);
+
+  if (jobs <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      results[i] = runScenario(configs[i]);
+    }
+    return results;
+  }
+
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(jobs, count));
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> failures(count);
+
+  auto worker = [&] {
+    while (true) {
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        results[i] = runScenario(configs[i]);
+      } catch (...) {
+        failures[i] = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  for (const std::exception_ptr& failure : failures) {
+    if (failure) std::rethrow_exception(failure);
+  }
+  return results;
+}
+
+}  // namespace ecgrid::harness

@@ -1,0 +1,27 @@
+// Parallel execution of independent scenarios.
+//
+// runScenario() is a pure function of its config: every run builds its
+// own Simulator, Network, and RNG streams, and touches no global mutable
+// state (logging goes through an atomic level gate). Runs are therefore
+// embarrassingly parallel, and executing them on a thread pool yields
+// results bit-identical to the serial loop — results come back in input
+// order, so callers' output (tables, CSVs) cannot tell the difference.
+// The benches use this to spread a figure's (protocol × speed × seed)
+// sweep across ECGRID_BENCH_JOBS worker threads.
+#pragma once
+
+#include <vector>
+
+#include "harness/scenario.hpp"
+
+namespace ecgrid::harness {
+
+/// Run every config through runScenario on up to `jobs` worker threads
+/// and return the results in input order. `jobs <= 1` (or a single
+/// config) degenerates to the plain serial loop on the calling thread.
+/// If any run throws, the first failure in *input order* is rethrown
+/// after all workers have drained.
+std::vector<ScenarioResult> runScenariosParallel(
+    const std::vector<ScenarioConfig>& configs, unsigned jobs);
+
+}  // namespace ecgrid::harness

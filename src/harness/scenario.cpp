@@ -98,6 +98,7 @@ ScenarioResult runScenario(const ScenarioConfig& config) {
     netConfig.channel.interferenceRangeMeters =
         config.interferenceRangeFactor * config.radioRange;
   }
+  netConfig.channel.useSpatialIndex = config.channelSpatialIndex;
   netConfig.paging.rangeMeters = config.radioRange;
   net::Network network(simulator, netConfig);
 

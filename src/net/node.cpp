@@ -57,6 +57,17 @@ Node::Node(sim::Simulator& sim, const geo::GridMap& grid,
       [this](const geo::GridCoord& from, const geo::GridCoord& to) {
         if (protocol_ && alive()) protocol_->onCellChanged(from, to);
       });
+
+  // Keep the channel's spatial index current: re-bucket this radio every
+  // time it crosses an index-bucket boundary. Static hosts never arm a
+  // timer (nextPossibleCellExit = never), so this costs nothing for them.
+  if (const geo::GridMap* indexGrid = channel_.indexGrid()) {
+    phyTracker_ = std::make_unique<mobility::GridTracker>(
+        sim_, *indexGrid, *mobility_,
+        [this](const geo::GridCoord&, const geo::GridCoord&) {
+          channel_.notifyMoved(channelAttachment_);
+        });
+  }
 }
 
 Node::~Node() = default;
@@ -113,6 +124,7 @@ void Node::deliverToApp(NodeId appSrc, const DataTag& tag, int payloadBytes) {
 void Node::onDeath() {
   ECGRID_LOG_INFO(kTag, "node " << config_.id << " died at t=" << sim_.now());
   tracker_->stop();
+  if (phyTracker_) phyTracker_->stop();
   mac_->clearQueue();
   channel_.detach(channelAttachment_);
   paging_.detach(pagingAttachment_);

@@ -109,6 +109,7 @@ class Node final : public HostEnv {
   std::unique_ptr<phy::Radio> radio_;
   std::unique_ptr<mac::CsmaMac> mac_;
   std::unique_ptr<mobility::GridTracker> tracker_;
+  std::unique_ptr<mobility::GridTracker> phyTracker_;  ///< spatial-index upkeep
   std::unique_ptr<RoutingProtocol> protocol_;
 
   std::size_t channelAttachment_ = 0;

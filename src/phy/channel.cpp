@@ -1,5 +1,6 @@
 #include "phy/channel.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "phy/radio.hpp"
@@ -7,10 +8,24 @@
 
 namespace ecgrid::phy {
 
+namespace {
+// Index buckets must be strictly wider than the effective reach so that a
+// receiver whose bucket is stale by one boundary crossing (GridTracker
+// events at the same timestamp may not have fired yet) still falls inside
+// the sender's 3x3 neighbourhood. Any factor > 1 works; 1/16 extra keeps
+// the candidate blocks tight.
+constexpr double kIndexCellMargin = 1.0625;
+}  // namespace
+
 Channel::Channel(sim::Simulator& sim, const ChannelConfig& config)
     : sim_(sim), config_(config) {
   ECGRID_REQUIRE(config.rangeMeters > 0.0, "range must be positive");
   ECGRID_REQUIRE(config.bitrateBps > 0.0, "bitrate must be positive");
+  if (config_.useSpatialIndex) {
+    double reach =
+        std::max(config_.rangeMeters, config_.interferenceRangeMeters);
+    index_.emplace(reach * kIndexCellMargin);
+  }
 }
 
 sim::Time Channel::frameAirtime(int bytes) const {
@@ -21,14 +36,67 @@ sim::Time Channel::frameAirtime(int bytes) const {
 std::size_t Channel::attach(Radio* radio, std::function<geo::Vec2()> position) {
   ECGRID_REQUIRE(radio != nullptr, "radio required");
   ECGRID_REQUIRE(position != nullptr, "position provider required");
-  attachments_.push_back(Attachment{radio, std::move(position)});
-  return attachments_.size() - 1;
+  std::size_t id;
+  if (!freeSlots_.empty()) {
+    id = freeSlots_.back();
+    freeSlots_.pop_back();
+    attachments_[id] = Attachment{radio, std::move(position)};
+  } else {
+    id = attachments_.size();
+    attachments_.push_back(Attachment{radio, std::move(position)});
+  }
+  radio->setChannelAttachmentId(id);
+  if (index_) index_->insert(id, attachments_[id].position());
+  ++liveAttachments_;
+  return id;
 }
 
 void Channel::detach(std::size_t attachmentId) {
   ECGRID_REQUIRE(attachmentId < attachments_.size(), "bad attachment id");
-  attachments_[attachmentId].radio = nullptr;
-  attachments_[attachmentId].position = nullptr;
+  Attachment& slot = attachments_[attachmentId];
+  ECGRID_REQUIRE(slot.radio != nullptr, "attachment already detached");
+  if (index_) index_->remove(attachmentId);
+  slot.radio->setChannelAttachmentId(Radio::kNoAttachment);
+  slot.radio = nullptr;
+  slot.position = nullptr;
+  freeSlots_.push_back(attachmentId);
+  --liveAttachments_;
+}
+
+void Channel::notifyMoved(std::size_t attachmentId) {
+  ECGRID_REQUIRE(attachmentId < attachments_.size(), "bad attachment id");
+  if (!index_) return;
+  const Attachment& slot = attachments_[attachmentId];
+  ECGRID_REQUIRE(slot.radio != nullptr, "attachment is detached");
+  index_->update(attachmentId, slot.position());
+}
+
+const geo::GridMap* Channel::indexGrid() const {
+  return index_ ? &index_->grid() : nullptr;
+}
+
+void Channel::deliverTo(const Attachment& attachment,
+                        const geo::Vec2& senderPos, const net::Packet& stamped,
+                        sim::Time duration) {
+  const double rangeSq = config_.rangeMeters * config_.rangeMeters;
+  const double interfSq =
+      config_.interferenceRangeMeters * config_.interferenceRangeMeters;
+  geo::Vec2 rxPos = attachment.position();
+  double distSq = senderPos.distanceSquaredTo(rxPos);
+  if (distSq > rangeSq && distSq > interfSq) return;
+  double delay = std::sqrt(distSq) / config_.propagationSpeed;
+  Radio* receiver = attachment.radio;
+  if (distSq <= rangeSq) {
+    ++deliveriesScheduled_;
+    sim_.schedule(delay, [receiver, stamped, duration] {
+      receiver->beginReceive(stamped, duration);
+    });
+  } else {
+    // Inside the interference ring: energy arrives but cannot decode.
+    sim_.schedule(delay, [receiver, duration] {
+      receiver->beginInterference(duration);
+    });
+  }
 }
 
 void Channel::transmitFrom(Radio& sender, const net::Packet& packet,
@@ -37,38 +105,27 @@ void Channel::transmitFrom(Radio& sender, const net::Packet& packet,
   net::Packet stamped = packet;
   stamped.uid = nextUid_++;
 
-  // Find the sender's attachment to read its position.
-  geo::Vec2 senderPos{};
-  bool found = false;
-  for (const Attachment& a : attachments_) {
-    if (a.radio == &sender) {
-      senderPos = a.position();
-      found = true;
-      break;
-    }
-  }
-  ECGRID_CHECK(found, "transmitting radio is not attached to this channel");
+  const std::size_t senderId = sender.channelAttachmentId();
+  ECGRID_CHECK(senderId < attachments_.size() &&
+                   attachments_[senderId].radio == &sender,
+               "transmitting radio is not attached to this channel");
+  geo::Vec2 senderPos = attachments_[senderId].position();
 
-  const double rangeSq = config_.rangeMeters * config_.rangeMeters;
-  const double interfSq =
-      config_.interferenceRangeMeters * config_.interferenceRangeMeters;
-  for (const Attachment& a : attachments_) {
-    if (a.radio == nullptr || a.radio == &sender) continue;
-    geo::Vec2 rxPos = a.position();
-    double distSq = senderPos.distanceSquaredTo(rxPos);
-    if (distSq > rangeSq && distSq > interfSq) continue;
-    double delay = std::sqrt(distSq) / config_.propagationSpeed;
-    Radio* receiver = a.radio;
-    if (distSq <= rangeSq) {
-      ++deliveriesScheduled_;
-      sim_.schedule(delay, [receiver, stamped, duration] {
-        receiver->beginReceive(stamped, duration);
-      });
-    } else {
-      // Inside the interference ring: energy arrives but cannot decode.
-      sim_.schedule(delay, [receiver, duration] {
-        receiver->beginInterference(duration);
-      });
+  if (index_) {
+    scratch_.clear();
+    index_->collectNear(senderPos, scratch_);
+    // Bucket iteration order is hash-dependent; sorting by attachment id
+    // restores the exact slot-order schedule of the brute-force scan, so
+    // both modes produce bit-identical simulations.
+    std::sort(scratch_.begin(), scratch_.end());
+    for (std::size_t id : scratch_) {
+      if (id == senderId) continue;
+      deliverTo(attachments_[id], senderPos, stamped, duration);
+    }
+  } else {
+    for (const Attachment& a : attachments_) {
+      if (a.radio == nullptr || a.radio == &sender) continue;
+      deliverTo(a, senderPos, stamped, duration);
     }
   }
 }

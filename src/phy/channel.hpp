@@ -6,14 +6,23 @@
 // grid dimensioning assumes). Airtime = PLCP preamble + bytes·8/bitrate.
 // Collisions are decided per-receiver by the Radio (any temporal overlap
 // corrupts), so hidden-terminal losses emerge naturally.
+//
+// Fan-out uses a SpatialIndex by default: attachments are bucketed by a
+// grid of side strictly greater than the effective reach, and a broadcast
+// scans only the 3x3 buckets around the sender. Candidate ids are sorted
+// before delivery so the schedule order (and hence every sequence number)
+// is identical to the brute-force O(N) scan, which is kept behind
+// `ChannelConfig::useSpatialIndex = false` for differential testing.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "geo/vec2.hpp"
 #include "net/packet.hpp"
+#include "phy/spatial_index.hpp"
 #include "sim/simulator.hpp"
 
 namespace ecgrid::phy {
@@ -32,6 +41,10 @@ struct ChannelConfig {
   /// d = √2·r/3 dimensioning assumes. Real 802.11 cards hear roughly
   /// 1.8–2.2× their decode range; `ablation_interference` sweeps this.
   double interferenceRangeMeters = 0.0;
+  /// Bucket attachments spatially so broadcasts scan O(density) radios
+  /// instead of all N. Off = the brute-force full scan (identical event
+  /// schedule; kept for differential tests and as a paranoia escape hatch).
+  bool useSpatialIndex = true;
 };
 
 class Channel {
@@ -45,11 +58,25 @@ class Channel {
   sim::Time frameAirtime(int bytes) const;
 
   /// Register a radio with a provider for its *current* position
-  /// (evaluated lazily at each transmission). Returns an attachment id.
+  /// (evaluated lazily at each transmission). Returns an attachment id;
+  /// ids of detached radios are recycled. The id is also stored on the
+  /// radio so transmitFrom can find the sender without scanning.
   std::size_t attach(Radio* radio, std::function<geo::Vec2()> position);
 
-  /// Detach (host death). The radio receives nothing afterwards.
+  /// Detach (host death). The radio receives nothing afterwards and the
+  /// attachment id becomes free for reuse.
   void detach(std::size_t attachmentId);
+
+  /// Spatial-index maintenance: the radio behind `attachmentId` may have
+  /// crossed an index-bucket boundary; re-bucket it from its current
+  /// position. Callers whose radios move MUST call this at least once per
+  /// bucket crossing (Node arms a GridTracker on indexGrid() for exactly
+  /// this). No-op in brute-force mode.
+  void notifyMoved(std::size_t attachmentId);
+
+  /// The spatial index's bucket grid, or nullptr in brute-force mode.
+  /// Stable for the channel's lifetime.
+  const geo::GridMap* indexGrid() const;
 
   /// Called by a transmitting radio. Schedules beginReceive on every other
   /// attached radio within range.
@@ -60,6 +87,8 @@ class Channel {
   std::uint64_t framesTransmitted() const { return framesTransmitted_; }
   /// Sum over transmissions of in-range potential receivers.
   std::uint64_t deliveriesScheduled() const { return deliveriesScheduled_; }
+  /// Attachments currently live (attached and not yet detached).
+  std::size_t liveAttachmentCount() const { return liveAttachments_; }
 
  private:
   struct Attachment {
@@ -67,9 +96,16 @@ class Channel {
     std::function<geo::Vec2()> position;
   };
 
+  void deliverTo(const Attachment& attachment, const geo::Vec2& senderPos,
+                 const net::Packet& stamped, sim::Time duration);
+
   sim::Simulator& sim_;
   ChannelConfig config_;
   std::vector<Attachment> attachments_;
+  std::vector<std::size_t> freeSlots_;
+  std::optional<SpatialIndex> index_;
+  std::vector<std::size_t> scratch_;  ///< candidate buffer, reused per tx
+  std::size_t liveAttachments_ = 0;
   std::uint64_t framesTransmitted_ = 0;
   std::uint64_t deliveriesScheduled_ = 0;
   std::uint64_t nextUid_ = 1;

@@ -11,6 +11,7 @@
 // is addressed to this host or broadcast.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <vector>
 
@@ -52,6 +53,15 @@ class Radio {
 
   /// Wired once by the Node / network builder.
   void attachChannel(Channel* channel) { channel_ = channel; }
+
+  /// Sentinel for "not attached to a channel".
+  static constexpr std::size_t kNoAttachment = static_cast<std::size_t>(-1);
+
+  /// Channel bookkeeping: the attachment slot this radio occupies, set by
+  /// Channel::attach and cleared by Channel::detach. Lets transmitFrom
+  /// find the sender in O(1) instead of scanning all attachments.
+  void setChannelAttachmentId(std::size_t id) { channelAttachmentId_ = id; }
+  std::size_t channelAttachmentId() const { return channelAttachmentId_; }
 
   /// Frame fully received, uncorrupted, addressed to us (or broadcast).
   void setFrameCallback(std::function<void(const net::Packet&)> cb);
@@ -124,6 +134,7 @@ class Radio {
   energy::PowerProfile profile_;
   net::NodeId id_;
   Channel* channel_ = nullptr;
+  std::size_t channelAttachmentId_ = kNoAttachment;
 
   RadioState state_ = RadioState::kIdle;
   bool sleepPending_ = false;

@@ -1,0 +1,61 @@
+#include "phy/spatial_index.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ecgrid::phy {
+
+void SpatialIndex::addToBucket(std::size_t id, const geo::GridCoord& bucket) {
+  buckets_[bucket].push_back(id);
+}
+
+void SpatialIndex::removeFromBucket(std::size_t id,
+                                    const geo::GridCoord& bucket) {
+  auto it = buckets_.find(bucket);
+  ECGRID_CHECK(it != buckets_.end(), "spatial index bucket missing");
+  std::vector<std::size_t>& ids = it->second;
+  auto pos = std::find(ids.begin(), ids.end(), id);
+  ECGRID_CHECK(pos != ids.end(), "id missing from its spatial index bucket");
+  *pos = ids.back();
+  ids.pop_back();
+  if (ids.empty()) buckets_.erase(it);
+}
+
+void SpatialIndex::insert(std::size_t id, const geo::Vec2& position) {
+  geo::GridCoord bucket = grid_.cellOf(position);
+  bool inserted = entries_.emplace(id, bucket).second;
+  ECGRID_CHECK(inserted, "id already in spatial index");
+  addToBucket(id, bucket);
+}
+
+void SpatialIndex::remove(std::size_t id) {
+  auto it = entries_.find(id);
+  ECGRID_CHECK(it != entries_.end(), "id not in spatial index");
+  removeFromBucket(id, it->second);
+  entries_.erase(it);
+}
+
+void SpatialIndex::update(std::size_t id, const geo::Vec2& position) {
+  auto it = entries_.find(id);
+  ECGRID_CHECK(it != entries_.end(), "id not in spatial index");
+  geo::GridCoord bucket = grid_.cellOf(position);
+  if (bucket == it->second) return;
+  removeFromBucket(id, it->second);
+  addToBucket(id, bucket);
+  it->second = bucket;
+}
+
+void SpatialIndex::collectNear(const geo::Vec2& position,
+                               std::vector<std::size_t>& out) const {
+  geo::GridCoord center = grid_.cellOf(position);
+  for (std::int32_t dy = -1; dy <= 1; ++dy) {
+    for (std::int32_t dx = -1; dx <= 1; ++dx) {
+      auto it = buckets_.find(geo::GridCoord{center.x + dx, center.y + dy});
+      if (it == buckets_.end()) continue;
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+  }
+}
+
+}  // namespace ecgrid::phy

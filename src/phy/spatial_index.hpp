@@ -1,0 +1,65 @@
+// Grid-bucket spatial index over channel attachments.
+//
+// The channel partitions the plane into square buckets of side strictly
+// greater than the radio's effective reach (decode range or interference
+// range, whichever is larger). Any receiver within reach of a transmitter
+// then lies in the transmitter's bucket or one of its eight neighbours, so
+// a broadcast only has to examine the O(density) radios in a 3x3 block of
+// buckets instead of all N attachments.
+//
+// The index stores *cells*, not positions: an entry is (attachment id,
+// bucket), refreshed by the owner whenever the radio crosses a bucket
+// boundary (Node drives this from a mobility::GridTracker armed on the
+// index grid). Because the bucket side exceeds the effective reach by a
+// strict margin, an entry that is stale by one boundary crossing within
+// the current timestamp still lands in the correct 3x3 neighbourhood —
+// see DESIGN.md "Performance" for the argument.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/grid.hpp"
+#include "geo/vec2.hpp"
+
+namespace ecgrid::phy {
+
+class SpatialIndex {
+ public:
+  /// `cellSideMeters` must be positive (GridMap enforces this); callers
+  /// pick it strictly larger than the effective radio reach.
+  explicit SpatialIndex(double cellSideMeters) : grid_(cellSideMeters) {}
+
+  /// The bucket grid. Stable for the index's lifetime, so callers may arm
+  /// GridTrackers on a reference to it.
+  const geo::GridMap& grid() const { return grid_; }
+
+  /// Register `id` at `position`. `id` must not already be present.
+  void insert(std::size_t id, const geo::Vec2& position);
+
+  /// Remove `id`. `id` must be present.
+  void remove(std::size_t id);
+
+  /// Re-bucket `id` after it moved. Cheap no-op when the bucket is
+  /// unchanged.
+  void update(std::size_t id, const geo::Vec2& position);
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// Append every id whose bucket is within Chebyshev distance 1 of the
+  /// bucket containing `position` (the 3x3 block). Order is unspecified —
+  /// callers needing determinism must sort.
+  void collectNear(const geo::Vec2& position,
+                   std::vector<std::size_t>& out) const;
+
+ private:
+  void addToBucket(std::size_t id, const geo::GridCoord& bucket);
+  void removeFromBucket(std::size_t id, const geo::GridCoord& bucket);
+
+  geo::GridMap grid_;
+  std::unordered_map<geo::GridCoord, std::vector<std::size_t>> buckets_;
+  std::unordered_map<std::size_t, geo::GridCoord> entries_;
+};
+
+}  // namespace ecgrid::phy

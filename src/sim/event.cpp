@@ -1,41 +1,128 @@
 #include "sim/event.hpp"
 
+#include <utility>
+
 #include "util/error.hpp"
 
 namespace ecgrid::sim {
 
+std::uint32_t EventQueue::allocSlot() {
+  if (freeHead_ != kNoSlot) {
+    std::uint32_t index = freeHead_;
+    freeHead_ = slots_[index].nextFree;
+    return index;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::freeSlot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.live = false;
+  slot.cancelled = false;
+  slot.action = nullptr;
+  // Bump the generation on free so stale handles can never alias a record
+  // that reuses this slot.
+  ++slot.generation;
+  slot.nextFree = freeHead_;
+  freeHead_ = index;
+}
+
 EventHandle EventQueue::push(Time time, std::function<void()> action) {
   ECGRID_REQUIRE(action != nullptr, "event action must be callable");
-  auto record = std::make_shared<detail::EventRecord>();
-  record->time = time;
-  record->sequence = nextSequence_++;
-  record->action = std::move(action);
-  heap_.push(record);
-  return EventHandle(record);
+  std::uint32_t index = allocSlot();
+  Slot& slot = slots_[index];
+  slot.time = time;
+  slot.live = true;
+  slot.cancelled = false;
+  slot.action = std::move(action);
+  heap_.push_back(HeapEntry{time, nextSequence_++, index});
+  siftUp(heap_.size() - 1);
+  return EventHandle(this, index, slot.generation);
+}
+
+void EventQueue::siftUp(std::size_t i) {
+  HeapEntry entry = heap_[i];
+  while (i > 0) {
+    std::size_t parent = (i - 1) / 2;
+    if (!earlier(entry, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+void EventQueue::siftDown(std::size_t i) {
+  const std::size_t size = heap_.size();
+  HeapEntry entry = heap_[i];
+  while (true) {
+    std::size_t child = 2 * i + 1;
+    if (child >= size) break;
+    if (child + 1 < size && earlier(heap_[child + 1], heap_[child])) ++child;
+    if (!earlier(heap_[child], entry)) break;
+    heap_[i] = heap_[child];
+    i = child;
+  }
+  heap_[i] = entry;
+}
+
+void EventQueue::removeHeapTop() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) siftDown(0);
 }
 
 void EventQueue::skipCancelled() {
-  while (!heap_.empty() && heap_.top()->cancelled) {
-    heap_.pop();
+  while (!heap_.empty() && slots_[heap_.front().slot].cancelled) {
+    freeSlot(heap_.front().slot);
+    removeHeapTop();
   }
 }
 
-std::shared_ptr<detail::EventRecord> EventQueue::pop() {
+bool EventQueue::pop(Time& time, std::function<void()>& action) {
+  // The previous event's record outlived its execution (see header); now
+  // that the caller is back for the next event, recycle it.
+  if (executing_ != kNoSlot) {
+    freeSlot(executing_);
+    executing_ = kNoSlot;
+  }
   skipCancelled();
-  if (heap_.empty()) return nullptr;
-  auto top = heap_.top();
-  heap_.pop();
-  return top;
+  if (heap_.empty()) return false;
+  std::uint32_t index = heap_.front().slot;
+  Slot& slot = slots_[index];
+  time = slot.time;
+  action = std::move(slot.action);
+  slot.action = nullptr;
+  removeHeapTop();
+  executing_ = index;
+  return true;
 }
 
 Time EventQueue::peekTime() {
   skipCancelled();
-  return heap_.empty() ? kTimeNever : heap_.top()->time;
+  return heap_.empty() ? kTimeNever : heap_.front().time;
 }
 
 bool EventQueue::empty() {
   skipCancelled();
   return heap_.empty();
+}
+
+void EventQueue::cancelSlot(std::uint32_t slot, std::uint32_t generation) {
+  if (slot >= slots_.size()) return;
+  Slot& record = slots_[slot];
+  if (!record.live || record.generation != generation) return;
+  record.cancelled = true;
+  // Release the closure eagerly so cancelled events do not pin captured
+  // resources until they percolate to the heap top.
+  record.action = nullptr;
+}
+
+bool EventQueue::slotPending(std::uint32_t slot,
+                             std::uint32_t generation) const {
+  if (slot >= slots_.size()) return false;
+  const Slot& record = slots_[slot];
+  return record.live && record.generation == generation && !record.cancelled;
 }
 
 }  // namespace ecgrid::sim

@@ -5,75 +5,71 @@
 // total order that is independent of heap internals — a prerequisite for
 // bit-for-bit reproducibility across platforms.
 //
-// Cancellation is O(1): the handle flips a flag on the shared event record
-// and the queue discards flagged records lazily when they reach the top.
+// Storage is a slab: event records live in a pooled free-list and are
+// addressed by (index, generation) handles, so steady-state scheduling
+// performs no heap allocation beyond what the closures themselves capture
+// (the old design paid one shared_ptr control block per event). The heap
+// is an inlined binary heap of plain (time, sequence, slot) entries.
+//
+// Cancellation is O(1): the handle flips a flag on the pooled record and
+// the queue discards flagged records lazily when they reach the top. A
+// popped record's slot is not recycled until the *next* pop, so a handle
+// to the currently-executing event still reports pending() — the same
+// observable semantics the previous shared_ptr-based queue had while
+// Simulator::step kept the record alive through the callback.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
 #include "sim/time.hpp"
 
 namespace ecgrid::sim {
 
-namespace detail {
-
-struct EventRecord {
-  Time time = kTimeZero;
-  std::uint64_t sequence = 0;
-  bool cancelled = false;
-  std::function<void()> action;
-};
-
-struct EventLater {
-  bool operator()(const std::shared_ptr<EventRecord>& a,
-                  const std::shared_ptr<EventRecord>& b) const {
-    if (a->time != b->time) return a->time > b->time;
-    return a->sequence > b->sequence;
-  }
-};
-
-}  // namespace detail
+class EventQueue;
 
 /// Handle to a scheduled event. Default-constructed handles are inert.
-/// Copyable; all copies refer to the same event.
+/// Copyable; all copies refer to the same event. A handle must not be
+/// used after its queue (i.e. the Simulator) is destroyed — all simulator
+/// components already obey this by construction, as they hold a
+/// reference to the Simulator that owns the queue.
 class EventHandle {
  public:
   EventHandle() = default;
 
   /// Cancel the event if it has not fired yet. Idempotent.
-  void cancel() {
-    if (auto rec = record_.lock()) {
-      rec->cancelled = true;
-      rec->action = nullptr;  // release captured state eagerly
-    }
-  }
+  void cancel();
 
-  /// True if the event is still scheduled to fire.
-  bool pending() const {
-    auto rec = record_.lock();
-    return rec != nullptr && !rec->cancelled;
-  }
+  /// True if the event is still scheduled to fire (or firing right now).
+  bool pending() const;
 
  private:
   friend class EventQueue;
-  explicit EventHandle(std::weak_ptr<detail::EventRecord> record)
-      : record_(std::move(record)) {}
+  EventHandle(EventQueue* queue, std::uint32_t slot, std::uint32_t generation)
+      : queue_(queue), slot_(slot), generation_(generation) {}
 
-  std::weak_ptr<detail::EventRecord> record_;
+  EventQueue* queue_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
 };
 
-/// Min-heap of events ordered by (time, sequence).
+/// Min-heap of events ordered by (time, sequence), backed by a slab of
+/// pooled records. Non-copyable and non-movable: handles store a pointer
+/// back to the queue.
 class EventQueue {
  public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
   EventHandle push(Time time, std::function<void()> action);
 
-  /// Discards cancelled records, then returns the next live event or
-  /// nullptr if the queue is empty. The returned record is removed.
-  std::shared_ptr<detail::EventRecord> pop();
+  /// Discards cancelled records, then moves the next live event's time and
+  /// action into the out-parameters and removes it. Returns false when the
+  /// queue is empty. The event's slot is recycled on the *next* pop, so
+  /// handles to it stay pending() while the caller runs the action.
+  bool pop(Time& time, std::function<void()>& action);
 
   /// Time of the next live event, or kTimeNever if empty.
   Time peekTime();
@@ -83,13 +79,54 @@ class EventQueue {
   std::size_t sizeIncludingCancelled() const { return heap_.size(); }
 
  private:
+  friend class EventHandle;
+
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  struct Slot {
+    Time time = kTimeZero;
+    std::uint32_t generation = 0;
+    bool live = false;       ///< allocated: queued or currently executing
+    bool cancelled = false;
+    std::function<void()> action;
+    std::uint32_t nextFree = kNoSlot;
+  };
+
+  struct HeapEntry {
+    Time time = kTimeZero;
+    std::uint64_t sequence = 0;
+    std::uint32_t slot = 0;
+  };
+
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.sequence < b.sequence;
+  }
+
+  std::uint32_t allocSlot();
+  void freeSlot(std::uint32_t index);
+  void removeHeapTop();
+  void siftUp(std::size_t i);
+  void siftDown(std::size_t i);
   void skipCancelled();
 
-  std::priority_queue<std::shared_ptr<detail::EventRecord>,
-                      std::vector<std::shared_ptr<detail::EventRecord>>,
-                      detail::EventLater>
-      heap_;
+  // EventHandle backends.
+  void cancelSlot(std::uint32_t slot, std::uint32_t generation);
+  bool slotPending(std::uint32_t slot, std::uint32_t generation) const;
+
+  std::vector<Slot> slots_;
+  std::vector<HeapEntry> heap_;
+  std::uint32_t freeHead_ = kNoSlot;
+  std::uint32_t executing_ = kNoSlot;  ///< slot recycled on next pop
   std::uint64_t nextSequence_ = 0;
 };
+
+inline void EventHandle::cancel() {
+  if (queue_ != nullptr) queue_->cancelSlot(slot_, generation_);
+}
+
+inline bool EventHandle::pending() const {
+  return queue_ != nullptr && queue_->slotPending(slot_, generation_);
+}
 
 }  // namespace ecgrid::sim

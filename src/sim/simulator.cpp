@@ -26,11 +26,12 @@ void Simulator::setPeriodicHook(std::uint64_t everyEvents,
 
 bool Simulator::step(Time until) {
   if (queue_.peekTime() > until) return false;
-  auto record = queue_.pop();
-  if (record == nullptr) return false;
-  now_ = record->time;
+  Time time = kTimeZero;
+  std::function<void()> action;
+  if (!queue_.pop(time, action)) return false;
+  now_ = time;
   ++eventsExecuted_;
-  record->action();
+  action();
   if (hook_ && eventsExecuted_ % hookEvery_ == 0) hook_();
   return true;
 }

@@ -1,0 +1,175 @@
+// Stress tests for the pooled event queue: randomized interleavings of
+// push/cancel/pop checked against a reference model that reimplements the
+// previous shared_ptr + std::priority_queue design. The pooled queue's
+// contract is that its observable behaviour — pop order, pending() — is
+// indistinguishable from that design while allocating far less.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/event.hpp"
+#include "sim/rng.hpp"
+
+namespace ecgrid::sim {
+namespace {
+
+// The pre-slab design, kept as an executable specification.
+struct RefRecord {
+  Time time = 0.0;
+  std::uint64_t sequence = 0;
+  bool cancelled = false;
+  int tag = 0;
+};
+
+class RefQueue {
+ public:
+  std::shared_ptr<RefRecord> push(Time time, int tag) {
+    auto record = std::make_shared<RefRecord>();
+    record->time = time;
+    record->sequence = nextSequence_++;
+    record->tag = tag;
+    heap_.push(record);
+    return record;
+  }
+
+  /// Returns the next live record, or nullptr when drained.
+  std::shared_ptr<RefRecord> pop() {
+    while (!heap_.empty() && heap_.top()->cancelled) heap_.pop();
+    if (heap_.empty()) return nullptr;
+    auto top = heap_.top();
+    heap_.pop();
+    return top;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const std::shared_ptr<RefRecord>& a,
+                    const std::shared_ptr<RefRecord>& b) const {
+      if (a->time != b->time) return a->time > b->time;
+      return a->sequence > b->sequence;
+    }
+  };
+  std::priority_queue<std::shared_ptr<RefRecord>,
+                      std::vector<std::shared_ptr<RefRecord>>, Later>
+      heap_;
+  std::uint64_t nextSequence_ = 0;
+};
+
+class QueueStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QueueStress, InterleavedOpsMatchReferenceModel) {
+  RngStream rng(GetParam());
+  EventQueue queue;
+  RefQueue ref;
+
+  // Handles to every not-yet-popped event, kept in lockstep.
+  std::vector<EventHandle> handles;
+  std::vector<std::shared_ptr<RefRecord>> refs;
+  std::vector<int> popped;
+  std::vector<int> refPopped;
+  int nextTag = 0;
+
+  for (int op = 0; op < 20000; ++op) {
+    double dice = rng.uniform(0.0, 1.0);
+    if (dice < 0.55) {
+      // Coarse times force plenty of ties to exercise sequence ordering.
+      Time t = static_cast<Time>(rng.uniformInt(0, 50));
+      int tag = nextTag++;
+      handles.push_back(queue.push(t, [tag, &popped] { popped.push_back(tag); }));
+      refs.push_back(ref.push(t, tag));
+    } else if (dice < 0.75 && !handles.empty()) {
+      std::size_t victim = static_cast<std::size_t>(
+          rng.uniformInt(0, static_cast<std::int64_t>(handles.size()) - 1));
+      handles[victim].cancel();
+      refs[victim]->cancelled = true;
+    } else {
+      Time time = 0.0;
+      std::function<void()> action;
+      if (queue.pop(time, action)) action();
+      auto refTop = ref.pop();
+      if (refTop != nullptr) refPopped.push_back(refTop->tag);
+      ASSERT_EQ(popped, refPopped) << "diverged at op " << op;
+    }
+    // Spot-check pending() parity on a random handle that has not been
+    // popped yet (after popping, the reference record lives as long as
+    // callers hold it, whereas the pooled slot retires at the next pop —
+    // both designs report not-pending there, but via different paths that
+    // the dedicated lifetime tests cover).
+    if (!handles.empty() && rng.uniform(0.0, 1.0) < 0.2) {
+      std::size_t probe = static_cast<std::size_t>(
+          rng.uniformInt(0, static_cast<std::int64_t>(handles.size()) - 1));
+      bool wasPopped = false;
+      for (int tag : popped) {
+        if (tag == refs[probe]->tag) {
+          wasPopped = true;
+          break;
+        }
+      }
+      if (!wasPopped) {
+        EXPECT_EQ(handles[probe].pending(), !refs[probe]->cancelled)
+            << "handle " << probe << " at op " << op;
+      }
+    }
+  }
+
+  // Drain both completely; total order must agree to the last event.
+  while (true) {
+    Time time = 0.0;
+    std::function<void()> action;
+    bool live = queue.pop(time, action);
+    auto refTop = ref.pop();
+    ASSERT_EQ(live, refTop != nullptr);
+    if (!live) break;
+    action();
+    refPopped.push_back(refTop->tag);
+  }
+  EXPECT_EQ(popped, refPopped);
+  EXPECT_GT(popped.size(), 1000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueueStress,
+                         ::testing::Values(1u, 42u, 777u, 31337u));
+
+// Slot churn: repeated fill/drain cycles reuse pooled slots; handles from
+// earlier cycles must never observe later occupants of their slot.
+TEST(EventQueuePool, HandlesFromPriorCyclesStayDead) {
+  EventQueue queue;
+  std::vector<EventHandle> stale;
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    std::vector<EventHandle> fresh;
+    for (int i = 0; i < 64; ++i) {
+      fresh.push_back(queue.push(static_cast<Time>(i), [] {}));
+    }
+    for (const EventHandle& h : stale) EXPECT_FALSE(h.pending());
+    for (EventHandle& h : stale) h.cancel();  // must not hit new events
+    for (const EventHandle& h : fresh) EXPECT_TRUE(h.pending());
+    Time time = 0.0;
+    std::function<void()> action;
+    int popCount = 0;
+    while (queue.pop(time, action)) {
+      action();
+      ++popCount;
+    }
+    EXPECT_EQ(popCount, 64);
+    stale = std::move(fresh);
+  }
+}
+
+// The heap size bookkeeping the Simulator exposes for stats.
+TEST(EventQueuePool, SizeIncludingCancelledCountsHeapEntries) {
+  EventQueue queue;
+  EventHandle a = queue.push(1.0, [] {});
+  queue.push(2.0, [] {});
+  EXPECT_EQ(queue.sizeIncludingCancelled(), 2u);
+  a.cancel();
+  // Lazy discard: still on the heap until it reaches the top.
+  EXPECT_EQ(queue.sizeIncludingCancelled(), 2u);
+  EXPECT_DOUBLE_EQ(queue.peekTime(), 2.0);  // discards the cancelled head
+  EXPECT_EQ(queue.sizeIncludingCancelled(), 1u);
+}
+
+}  // namespace
+}  // namespace ecgrid::sim

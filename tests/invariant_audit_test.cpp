@@ -322,6 +322,31 @@ TEST(EventTimeMonotonicityAudit, FiresOnEventPendingInThePast) {
 }
 
 // --------------------------------------------------------------------------
+// 6. channel attachment count
+
+TEST(ChannelAttachmentAudit, CatchesInjectedDetachOnRealNetwork) {
+  test::TestNet net;
+  for (int i = 0; i < 4; ++i) {
+    net.addStatic(i, {20.0 + 10.0 * i, 20.0});
+  }
+  net.installEcgridEverywhere();
+
+  InvariantAuditor auditor(FailMode::kRecord);
+  installStandardAudits(auditor, net.network);
+  net.start(5.0);
+  auditor.run(net.simulator.now());
+  EXPECT_TRUE(auditor.violations().empty());
+
+  // Rip a live host's attachment out from under it: the live-attachment
+  // count no longer matches the alive-host count.
+  net.network.channel().detach(
+      net.network.findNode(2)->radio().channelAttachmentId());
+  auditor.run(net.simulator.now());
+  ASSERT_FALSE(auditor.violations().empty());
+  EXPECT_EQ(auditor.violations()[0].audit, "channel-attachment-count");
+}
+
+// --------------------------------------------------------------------------
 // wiring: standard audits over a live network and the scenario flag
 
 TEST(StandardAudits, HealthyEcgridRunStaysViolationFree) {
@@ -333,7 +358,7 @@ TEST(StandardAudits, HealthyEcgridRunStaysViolationFree) {
 
   InvariantAuditor auditor(FailMode::kRecord);
   installStandardAudits(auditor, net.network);
-  EXPECT_EQ(auditor.auditCount(), 5u);
+  EXPECT_EQ(auditor.auditCount(), 6u);
   net.simulator.setPeriodicHook(
       200, [&] { auditor.run(net.simulator.now()); });
   net.start(60.0);

@@ -11,13 +11,20 @@
 namespace ecgrid::sim {
 namespace {
 
+// Run every remaining live event to completion through the pooled-pop API.
+void drain(EventQueue& queue) {
+  Time time = kTimeZero;
+  std::function<void()> action;
+  while (queue.pop(time, action)) action();
+}
+
 TEST(EventQueue, PopsInTimeOrder) {
   EventQueue queue;
   std::vector<int> order;
   queue.push(3.0, [&] { order.push_back(3); });
   queue.push(1.0, [&] { order.push_back(1); });
   queue.push(2.0, [&] { order.push_back(2); });
-  while (auto record = queue.pop()) record->action();
+  drain(queue);
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
@@ -27,7 +34,7 @@ TEST(EventQueue, TiesBreakByInsertionOrder) {
   for (int i = 0; i < 16; ++i) {
     queue.push(5.0, [&order, i] { order.push_back(i); });
   }
-  while (auto record = queue.pop()) record->action();
+  drain(queue);
   for (int i = 0; i < 16; ++i) EXPECT_EQ(order[i], i);
 }
 
@@ -39,18 +46,52 @@ TEST(EventQueue, CancelledEventsAreSkipped) {
   gone.cancel();
   EXPECT_TRUE(keep.pending());
   EXPECT_FALSE(gone.pending());
-  while (auto record = queue.pop()) record->action();
+  drain(queue);
   EXPECT_EQ(fired, 1);
 }
 
 TEST(EventQueue, CancelIsIdempotentAndSafeAfterFire) {
   EventQueue queue;
   EventHandle handle = queue.push(1.0, [] {});
-  auto record = queue.pop();
-  record->action();
+  Time time = kTimeZero;
+  std::function<void()> action;
+  ASSERT_TRUE(queue.pop(time, action));
+  action();
   handle.cancel();  // already fired: must not blow up
   handle.cancel();
+  drain(queue);  // recycles the executing slot
   EXPECT_FALSE(handle.pending());
+}
+
+TEST(EventQueue, HandleStaysPendingWhileItsEventRuns) {
+  // Protocol timers test `pending()` inside their own callback (e.g. the
+  // sleep-check timer) and rely on it reporting true until the event has
+  // fully retired.
+  EventQueue queue;
+  EventHandle handle;
+  bool sawPending = false;
+  handle = queue.push(1.0, [&] { sawPending = handle.pending(); });
+  Time time = kTimeZero;
+  std::function<void()> action;
+  ASSERT_TRUE(queue.pop(time, action));
+  action();
+  EXPECT_TRUE(sawPending);
+  EXPECT_FALSE(queue.pop(time, action));
+  EXPECT_FALSE(handle.pending());
+}
+
+TEST(EventQueue, StaleHandleDoesNotAliasRecycledSlot) {
+  EventQueue queue;
+  EventHandle old = queue.push(1.0, [] {});
+  drain(queue);  // the final (empty) pop retires the executing slot
+  // The next push reuses the pooled slot; the stale handle must not see it.
+  int fired = 0;
+  EventHandle fresh = queue.push(2.0, [&] { ++fired; });
+  EXPECT_FALSE(old.pending());
+  old.cancel();  // must not cancel the new occupant
+  EXPECT_TRUE(fresh.pending());
+  drain(queue);
+  EXPECT_EQ(fired, 1);
 }
 
 TEST(EventQueue, PeekTimeSkipsCancelled) {
@@ -65,7 +106,9 @@ TEST(EventQueue, EmptyQueueReportsNever) {
   EventQueue queue;
   EXPECT_TRUE(queue.empty());
   EXPECT_GE(queue.peekTime(), kTimeNever);
-  EXPECT_EQ(queue.pop(), nullptr);
+  Time time = kTimeZero;
+  std::function<void()> action;
+  EXPECT_FALSE(queue.pop(time, action));
 }
 
 TEST(Simulator, ClockAdvancesToEventTimes) {
