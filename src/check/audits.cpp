@@ -4,26 +4,49 @@
 
 namespace ecgrid::check {
 
+namespace {
+
+/// With a positive conflict range, a multi-claim only counts as a contest
+/// when some claimant pair is physically close enough to exchange the
+/// HELLOs that would settle it; range 0 = every multi-claim contests.
+bool resolvableContest(const std::vector<GatewaySighting>& claimants,
+                       double rangeMeters) {
+  if (rangeMeters <= 0.0) return true;
+  const double rangeSq = rangeMeters * rangeMeters;
+  for (std::size_t i = 0; i < claimants.size(); ++i) {
+    for (std::size_t j = i + 1; j < claimants.size(); ++j) {
+      if (claimants[i].position.distanceSquaredTo(claimants[j].position) <=
+          rangeSq) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
 void GatewayUniquenessAudit::observe(
     const std::vector<GatewaySighting>& gateways, AuditContext& context) {
-  std::map<geo::GridCoord, std::vector<net::NodeId>> byGrid;
+  std::map<geo::GridCoord, std::vector<GatewaySighting>> byGrid;
   for (const GatewaySighting& sighting : gateways) {
-    byGrid[sighting.grid].push_back(sighting.id);
+    byGrid[sighting.grid].push_back(sighting);
   }
 
   // Contested grids: start/extend their conflict clocks; report the ones
   // whose contest outlived the grace window.
   std::map<geo::GridCoord, sim::Time> stillContested;
-  for (const auto& [grid, ids] : byGrid) {
-    if (ids.size() <= 1) continue;
+  for (const auto& [grid, claimants] : byGrid) {
+    if (claimants.size() <= 1) continue;
+    if (!resolvableContest(claimants, conflictRangeMeters_)) continue;
     auto it = conflictSince_.find(grid);
     sim::Time since = it != conflictSince_.end() ? it->second : context.now();
     stillContested[grid] = since;
     if (context.now() - since > conflictGrace_) {
       std::ostringstream os;
-      os << "grid " << grid << " has " << ids.size() << " gateways (";
-      for (std::size_t i = 0; i < ids.size(); ++i) {
-        os << (i != 0 ? ", " : "") << ids[i];
+      os << "grid " << grid << " has " << claimants.size() << " gateways (";
+      for (std::size_t i = 0; i < claimants.size(); ++i) {
+        os << (i != 0 ? ", " : "") << claimants[i].id;
       }
       os << ") unresolved for " << context.now() - since << " s";
       context.report(os.str());

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "geo/grid.hpp"
+#include "geo/vec2.hpp"
 #include "net/packet.hpp"
 #include "phy/radio.hpp"
 #include "check/invariant_auditor.hpp"
@@ -30,22 +31,34 @@ namespace ecgrid::check {
 // 1. Gateway uniqueness: at most one gateway serving each grid (paper §3.1).
 //    A conflict must resolve within `conflictGrace` seconds (the HELLO
 //    exchange that makes the loser yield) or it is reported.
+//
+//    A host serves the grid it *believes* it occupies, so under GPS error
+//    two physically distant hosts can claim one grid while unable to hear
+//    each other — nothing in the protocol can resolve that. With a
+//    positive `conflictRangeMeters` the audit therefore only counts a
+//    contest whose claimants include a pair within that physical range
+//    (they can exchange the HELLOs that settle it); 0 keeps the strict
+//    fault-free reading where every multi-claim is a contest.
 
 struct GatewaySighting {
   geo::GridCoord grid;  ///< grid the host currently serves as gateway
   net::NodeId id = net::kBroadcastId;
+  geo::Vec2 position;  ///< physical position (for conflictRangeMeters)
 };
 
 class GatewayUniquenessAudit {
  public:
-  explicit GatewayUniquenessAudit(sim::Time conflictGrace = 5.0)
-      : conflictGrace_(conflictGrace) {}
+  explicit GatewayUniquenessAudit(sim::Time conflictGrace = 5.0,
+                                  double conflictRangeMeters = 0.0)
+      : conflictGrace_(conflictGrace),
+        conflictRangeMeters_(conflictRangeMeters) {}
 
   void observe(const std::vector<GatewaySighting>& gateways,
                AuditContext& context);
 
  private:
   sim::Time conflictGrace_;
+  double conflictRangeMeters_;
   /// Grids currently contested and when the contest was first seen.
   std::map<geo::GridCoord, sim::Time> conflictSince_;
 };
@@ -97,6 +110,8 @@ class BatteryMonotonicityAudit {
 //    at a host that exists, and that has not been dead for longer than
 //    `deadGrace` (long enough for RERR propagation / route repair; an
 //    entry still live past that was refreshed post-mortem — a bug).
+//    "Dead" covers both battery depletion and injected crashes; the
+//    network binding dates crashed hosts from Node::crashedAt().
 
 struct RouteSighting {
   net::NodeId owner = net::kBroadcastId;        ///< router holding the entry

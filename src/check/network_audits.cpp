@@ -24,10 +24,12 @@ bool protocolSleeping(net::Node& node) {
   return false;
 }
 
-/// When a dead next hop never recorded a battery death time (it cannot
-/// happen today — hosts only die by depletion — but the audit should not
-/// crash if a future death path forgets), date the death at first sight.
+/// Date a down host: injected crashes stamp Node::crashedAt(), battery
+/// deaths stamp the battery. A down host with neither (it cannot happen
+/// today, but the audit should not crash if a future death path forgets)
+/// is dated at first sight.
 sim::Time deadSince(net::Node& node, sim::Time now) {
+  if (node.crashed()) return node.crashedAt();
   sim::Time death = node.batteryRef().deathTime();
   return death == sim::kTimeNever ? now : death;
 }
@@ -36,16 +38,18 @@ sim::Time deadSince(net::Node& node, sim::Time now) {
 
 void installStandardAudits(InvariantAuditor& auditor, net::Network& network,
                            const StandardAuditOptions& options) {
-  auto gatewayAudit =
-      std::make_shared<GatewayUniquenessAudit>(options.gatewayConflictGrace);
+  auto gatewayAudit = std::make_shared<GatewayUniquenessAudit>(
+      options.gatewayConflictGrace, options.gatewayConflictRangeMeters);
   auditor.add("gateway-uniqueness", [&network, gatewayAudit](
                                         AuditContext& context) {
     std::vector<GatewaySighting> sightings;
     for (auto& node : network.nodes()) {
+      if (!node->alive()) continue;  // crashed/dead hosts serve nothing
       auto* grid =
           dynamic_cast<protocols::GridProtocolBase*>(&node->protocol());
       if (grid == nullptr || !grid->servedGrid().has_value()) continue;
-      sightings.push_back(GatewaySighting{*grid->servedGrid(), node->id()});
+      sightings.push_back(GatewaySighting{*grid->servedGrid(), node->id(),
+                                          node->truePosition()});
     }
     gatewayAudit->observe(sightings, context);
   });
@@ -113,15 +117,22 @@ void installStandardAudits(InvariantAuditor& auditor, net::Network& network,
               });
 
   // Channel bookkeeping: every alive host holds exactly one live channel
-  // attachment (dead hosts detach in onDeath), so a drifting count means
-  // a leaked tombstone slot or a double detach.
+  // attachment — battery deaths detach in onDeath, injected crashes in
+  // Node::crash (and restarts re-attach) — so a drifting count means a
+  // leaked tombstone slot, a double detach, or a crash path that forgot
+  // to release (or a restart that forgot to re-take) its slot.
   auditor.add("channel-attachment-count", [&network](AuditContext& context) {
     std::size_t live = network.channel().liveAttachmentCount();
     std::size_t alive = network.aliveCount();
+    std::size_t crashed = 0;
+    for (auto& node : network.nodes()) {
+      if (node->crashed()) ++crashed;
+    }
     if (live != alive) {
       context.report("channel has " + std::to_string(live) +
                      " live attachments but " + std::to_string(alive) +
-                     " hosts are alive");
+                     " hosts are alive (" + std::to_string(crashed) +
+                     " crashed)");
     }
   });
 }

@@ -29,6 +29,13 @@ struct StandardAuditOptions {
   /// Seconds a host may claim sleep while its radio is still up (ECGRID's
   /// SLEEP notice drains through the MAC before the radio powers down).
   sim::Time sleepSettleGrace = 1.0;
+  /// Gateway-uniqueness under GPS error: hosts claim the grid they
+  /// *believe* they occupy, so two physically distant hosts can contest a
+  /// grid without any way to hear each other and resolve it. With a
+  /// positive range (the harness passes the radio range when a GPS fault
+  /// is armed) only contests with a claimant pair inside that physical
+  /// distance are violations; 0 = strict fault-free reading.
+  double gatewayConflictRangeMeters = 0.0;
 };
 
 /// Register the five standard audits — gateway uniqueness, no-TX-while-

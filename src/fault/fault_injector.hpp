@@ -1,0 +1,74 @@
+// FaultInjector — arms a FaultPlan on a live network.
+//
+// Construction wires every enabled fault into the simulation:
+//
+//   * channel errors  → an ErrorModel behind phy::Channel's deliveryFault
+//                       slot (frames corrupt instead of decode);
+//   * paging loss     → phy::PagingChannel's pageLoss slot;
+//   * host crashes    → scripted CrashEvents plus a per-host Poisson
+//                       failure process, via Node::crash()/restart();
+//   * GPS error       → per-host offset draw at t = 0 and a periodic
+//                       random-walk drift tick, via Node::setGpsError().
+//
+// All randomness comes from dedicated named streams ("fault/channel",
+// "fault/paging", "fault/crash", "fault/gps") split off the run's master
+// seed, so arming a fault never perturbs mobility, MAC backoff, or
+// traffic draws, and the same (plan, seed) pair replays exactly.
+//
+// The destructor disarms the channel and paging hooks; declare the
+// injector after the Network so it is destroyed first. An empty() plan
+// arms nothing (runScenario skips construction entirely).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "fault/error_model.hpp"
+#include "fault/fault_plan.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace ecgrid::fault {
+
+class FaultInjector {
+ public:
+  FaultInjector(sim::Simulator& sim, net::Network& network,
+                const FaultPlan& plan);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Host crashes actually applied (scripted + Poisson; crashes aimed at
+  /// hosts already down do not count).
+  std::uint64_t crashesInjected() const { return crashes_; }
+  /// Successful reboots.
+  std::uint64_t restartsInjected() const { return restarts_; }
+
+ private:
+  void armChannel();
+  void armPaging();
+  void armCrashes();
+  void armGps();
+  bool faultEligible(const net::Node& node) const;
+  void crashNow(net::Node& node, sim::Time restartAt, bool poisson);
+  void restartNow(net::Node& node, bool poisson);
+  void schedulePoissonCrash(net::Node& node);
+  void gpsDriftTick();
+
+  sim::Simulator& sim_;
+  net::Network& network_;
+  FaultPlan plan_;
+
+  std::unique_ptr<ErrorModel> errorModel_;
+  sim::RngStream pagingRng_;
+  sim::RngStream crashRng_;
+  sim::RngStream gpsRng_;
+
+  std::uint64_t crashes_ = 0;
+  std::uint64_t restarts_ = 0;
+};
+
+}  // namespace ecgrid::fault

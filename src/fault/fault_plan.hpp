@@ -1,0 +1,124 @@
+// FaultPlan — a pure value describing the adverse conditions of one run.
+//
+// The paper evaluates ECGRID under ideal conditions: a collision-only
+// channel, perfect GPS, hosts that die only by battery depletion, and an
+// RAS pager that never misses. A FaultPlan describes the departures from
+// that ideal — seeded, schedulable, and deterministic — and a
+// FaultInjector (fault_injector.hpp) arms them on a live network:
+//
+//   * ChannelFault  — frame corruption: i.i.d. loss or a two-state
+//                     Gilbert–Elliott burst-loss chain per receiver;
+//   * HostFault     — crashes (scheduled or Poisson) and restarts;
+//   * GpsFault      — per-host position error: fixed bias and/or
+//                     random-walk drift, so hosts misjudge their grid;
+//   * PagingFault   — RAS pages missed with some probability.
+//
+// Like ScenarioConfig, a FaultPlan carries no behaviour. An
+// all-default plan (empty() == true) arms nothing, and runs are
+// byte-identical to a simulation without the fault layer at all.
+#pragma once
+
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace ecgrid::fault {
+
+enum class ChannelErrorKind {
+  kNone,            ///< ideal channel (collisions only)
+  kIid,             ///< every delivery lost independently with lossProbability
+  kGilbertElliott,  ///< two-state burst-loss Markov chain per receiver
+};
+
+const char* toString(ChannelErrorKind kind);
+
+struct ChannelFault {
+  ChannelErrorKind kind = ChannelErrorKind::kNone;
+
+  /// kIid: probability each in-range delivery is corrupted.
+  double lossProbability = 0.0;
+
+  // kGilbertElliott: transition and loss parameters. The chain advances
+  // once per delivered frame per receiver; stationary loss is
+  //   πB·lossBad + (1−πB)·lossGood  with  πB = pGoodToBad/(pGoodToBad+pBadToGood)
+  // and the mean bad-state sojourn is 1/pBadToGood frames.
+  double pGoodToBad = 0.0;
+  double pBadToGood = 0.0;
+  double lossGood = 0.0;
+  double lossBad = 1.0;
+
+  bool enabled() const { return kind != ChannelErrorKind::kNone; }
+};
+
+/// For lossGood = 0, lossBad = 1: the pGoodToBad that yields `targetLoss`
+/// stationary loss at a given recovery rate (mean burst = 1/pBadToGood).
+double gilbertElliottPGoodToBad(double targetLoss, double pBadToGood);
+
+/// One scripted host failure. `restartAt` past the horizon (or the
+/// default kTimeNever) leaves the host down for good.
+struct CrashEvent {
+  net::NodeId host = 0;
+  sim::Time at = 0.0;
+  sim::Time restartAt = sim::kTimeNever;
+};
+
+struct HostFault {
+  /// Scripted crashes, applied to the named hosts verbatim.
+  std::vector<CrashEvent> crashes;
+
+  /// Poisson crash process: each finite-battery host fails with this
+  /// rate (exponential inter-arrival times). Infinite-battery endpoints
+  /// (GAF Model 1 sources/sinks) are exempt — they model wired
+  /// infrastructure, and crashing them voids the traffic accounting.
+  double crashRatePerHostPerSecond = 0.0;
+
+  /// Mean of the exponential downtime after a Poisson crash; the host
+  /// then reboots with a fresh protocol stack. 0 = crashed hosts stay
+  /// down forever.
+  double meanDowntimeSeconds = 0.0;
+
+  bool enabled() const {
+    return !crashes.empty() || crashRatePerHostPerSecond > 0.0;
+  }
+};
+
+struct GpsFault {
+  /// Fixed per-host position bias, drawn once per axis ~ N(0, σ).
+  double offsetStddevMeters = 0.0;
+
+  /// Random-walk drift: every driftPeriodSeconds each host's error takes
+  /// a per-axis step ~ N(0, σ). Models wandering GPS fixes; hosts can
+  /// walk in and out of misjudging their own grid.
+  double driftStddevMeters = 0.0;
+  sim::Time driftPeriodSeconds = 10.0;
+
+  bool enabled() const {
+    return offsetStddevMeters > 0.0 || driftStddevMeters > 0.0;
+  }
+};
+
+struct PagingFault {
+  /// Probability each individually delivered page (unicast or
+  /// grid-broadcast, per in-range pager) is missed.
+  double lossProbability = 0.0;
+
+  bool enabled() const { return lossProbability > 0.0; }
+};
+
+struct FaultPlan {
+  ChannelFault channel;
+  HostFault hosts;
+  GpsFault gps;
+  PagingFault paging;
+
+  /// True when the plan arms nothing at all — runScenario skips the
+  /// injector entirely and the run is byte-identical to a pre-fault-layer
+  /// simulation.
+  bool empty() const {
+    return !channel.enabled() && !hosts.enabled() && !gps.enabled() &&
+           !paging.enabled();
+  }
+};
+
+}  // namespace ecgrid::fault

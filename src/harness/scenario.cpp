@@ -1,8 +1,10 @@
 #include "harness/scenario.hpp"
 
 #include <memory>
+#include <optional>
 
 #include "check/network_audits.hpp"
+#include "fault/fault_injector.hpp"
 #include "mobility/random_waypoint.hpp"
 #include "protocols/flooding/flooding_protocol.hpp"
 #include "protocols/grid/grid_protocol.hpp"
@@ -124,7 +126,12 @@ ScenarioResult runScenario(const ScenarioConfig& config) {
     auto mobility = std::make_unique<mobility::RandomWaypoint>(
         rwp, simulator.rng().stream("mobility", i));
     net::Node& node = network.addNode(std::move(mobility), nodeConfig);
-    node.setProtocol(makeProtocol(config, node, network, isEndpoint));
+    // Factory install (not a one-shot setProtocol) so a crashed host can
+    // reboot with a fresh protocol stack; invoked once right here, so
+    // construction order is unchanged.
+    node.setProtocolFactory([&config, &node, &network, isEndpoint] {
+      return makeProtocol(config, node, network, isEndpoint);
+    });
     if (isEndpoint) {
       endpointIds.push_back(node.id());
     } else {
@@ -145,9 +152,22 @@ ScenarioResult runScenario(const ScenarioConfig& config) {
   traffic::FlowManager flows(network, plan, accounting,
                              simulator.rng().stream("flows"));
 
+  // Armed only for a non-empty plan: an empty plan must leave the run
+  // byte-identical to a build without the fault layer at all.
+  std::optional<fault::FaultInjector> injector;
+  if (!config.fault.empty()) {
+    injector.emplace(simulator, network, config.fault);
+  }
+
   check::InvariantAuditor auditor(check::FailMode::kThrow);
   if (config.auditInvariants) {
-    check::installStandardAudits(auditor, network);
+    check::StandardAuditOptions auditOptions;
+    if (config.fault.gps.enabled()) {
+      // Hosts claim the grid they believe they occupy; only physically
+      // adjacent claimants can resolve a contest.
+      auditOptions.gatewayConflictRangeMeters = config.radioRange;
+    }
+    check::installStandardAudits(auditor, network, auditOptions);
     simulator.setPeriodicHook(config.auditPeriodEvents,
                               [&] { auditor.run(simulator.now()); });
   }
@@ -176,6 +196,12 @@ ScenarioResult runScenario(const ScenarioConfig& config) {
   result.latencies = accounting.latencies();
   result.framesTransmitted = network.channel().framesTransmitted();
   result.pagesSent = network.paging().pagesSent();
+  result.deliveriesCorrupted = network.channel().deliveriesCorrupted();
+  result.pagesLost = network.paging().pagesLost();
+  if (injector) {
+    result.crashesInjected = injector->crashesInjected();
+    result.restartsInjected = injector->restartsInjected();
+  }
   result.eventsExecuted = simulator.eventsExecuted();
   result.auditRuns = auditor.runs();
 

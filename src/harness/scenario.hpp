@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/ecgrid_protocol.hpp"
+#include "fault/fault_plan.hpp"
 #include "net/network.hpp"
 #include "protocols/common/grid_protocol_base.hpp"
 #include "protocols/gaf/gaf_protocol.hpp"
@@ -88,6 +89,14 @@ struct ScenarioConfig {
   /// oracle over the destination (the paper's location-aware assumption);
   /// when false every discovery floods globally.
   bool useLocationOracle = true;
+
+  /// Adverse conditions (src/fault): channel error model, host
+  /// crash/restart schedule, GPS error, RAS paging loss. The default
+  /// (empty) plan arms nothing and the run is byte-identical to a
+  /// simulation without the fault layer. When a GPS fault is armed and
+  /// auditing is on, the gateway-uniqueness audit automatically switches
+  /// to its physical-proximity reading (see StandardAuditOptions).
+  fault::FaultPlan fault;
 };
 
 struct ScenarioResult {
@@ -108,6 +117,13 @@ struct ScenarioResult {
 
   std::uint64_t framesTransmitted = 0;  ///< MAC frames on the air
   std::uint64_t pagesSent = 0;          ///< RAS pages
+
+  // fault-injection accounting (all zero when the plan is empty)
+  std::uint64_t crashesInjected = 0;      ///< host crashes applied
+  std::uint64_t restartsInjected = 0;     ///< host reboots applied
+  std::uint64_t deliveriesCorrupted = 0;  ///< frames lost to channel errors
+  std::uint64_t pagesLost = 0;            ///< RAS pages missed
+
   std::uint64_t eventsExecuted = 0;
   std::uint64_t auditRuns = 0;  ///< invariant-audit sweeps completed
   std::uint64_t macFramesSent = 0;      ///< frames handed off successfully

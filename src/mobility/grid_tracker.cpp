@@ -21,6 +21,14 @@ void GridTracker::stop() {
   pending_.cancel();
 }
 
+void GridTracker::restart() {
+  if (!stopped_) return;
+  stopped_ = false;
+  pending_.cancel();
+  cell_ = grid_.cellOf(model_.positionAt(sim_.now()));
+  arm();
+}
+
 void GridTracker::arm() {
   if (stopped_) return;
   sim::Time next = model_.nextPossibleCellExit(grid_, sim_.now());

@@ -38,6 +38,11 @@ class GridTracker {
   /// Cancels the pending check; no further callbacks fire.
   void stop();
 
+  /// Resume tracking after stop() (host restart after a crash). The
+  /// current cell is re-read from the mobility model — no callback fires
+  /// for movement that happened while stopped.
+  void restart();
+
  private:
   void arm();
   void onTimer();

@@ -34,16 +34,7 @@ Node::Node(sim::Simulator& sim, const geo::GridMap& grid,
       sim_, *radio_, channel_, config_.macConfig,
       sim_.rng().stream("mac", config_.id));
 
-  channelAttachment_ =
-      channel_.attach(radio_.get(), [this] { return position(); });
-  pagingAttachment_ = paging_.attach(
-      config_.id, [this] { return position(); }, [this] { return cell(); },
-      [this](const PageSignal& signal) {
-        if (!alive()) return;
-        // The RAS powers the transceiver up before the protocol reacts.
-        wakeRadio();
-        if (protocol_) protocol_->onPaged(signal);
-      });
+  attachToMedia();
 
   mac_->setReceiveCallback([this](const Packet& packet) {
     if (protocol_ && alive()) protocol_->onFrame(packet);
@@ -52,11 +43,16 @@ Node::Node(sim::Simulator& sim, const geo::GridMap& grid,
     if (protocol_ && alive()) protocol_->onSendFailed(packet);
   });
 
+  // The tracker watches ground-truth boundary crossings; the *believed*
+  // cell (true position + GPS error) is re-derived at each crossing and
+  // at every GPS-error update, so under fault-free GPS the two coincide
+  // exactly and the protocol sees the classic crossing events.
   tracker_ = std::make_unique<mobility::GridTracker>(
       sim_, grid_, *mobility_,
-      [this](const geo::GridCoord& from, const geo::GridCoord& to) {
-        if (protocol_ && alive()) protocol_->onCellChanged(from, to);
+      [this](const geo::GridCoord&, const geo::GridCoord&) {
+        notifyCellMaybeChanged();
       });
+  believedCell_ = cell();
 
   // Keep the channel's spatial index current: re-bucket this radio every
   // time it crosses an index-bucket boundary. Static hosts never arm a
@@ -72,9 +68,43 @@ Node::Node(sim::Simulator& sim, const geo::GridMap& grid,
 
 Node::~Node() = default;
 
+void Node::attachToMedia() {
+  // Physical media always see the ground-truth position: GPS error warps
+  // what the host believes, not where its antenna radiates.
+  channelAttachment_ =
+      channel_.attach(radio_.get(), [this] { return truePosition(); });
+  pagingAttachment_ = paging_.attach(
+      config_.id, [this] { return truePosition(); },
+      // The pager's broadcast sequence is programmed with the grid the
+      // host BELIEVES it occupies — under GPS error it can miss pages
+      // meant for its physical grid, exactly the failure mode under test.
+      [this] { return cell(); },
+      [this](const PageSignal& signal) {
+        if (!alive()) return;
+        // The RAS powers the transceiver up before the protocol reacts.
+        wakeRadio();
+        if (protocol_) protocol_->onPaged(signal);
+      });
+}
+
+void Node::notifyCellMaybeChanged() {
+  geo::GridCoord now = cell();
+  if (now == believedCell_) return;
+  geo::GridCoord old = believedCell_;
+  believedCell_ = now;
+  if (protocol_ && alive()) protocol_->onCellChanged(old, now);
+}
+
 void Node::setProtocol(std::unique_ptr<RoutingProtocol> protocol) {
   ECGRID_REQUIRE(protocol != nullptr, "protocol must not be null");
   protocol_ = std::move(protocol);
+}
+
+void Node::setProtocolFactory(
+    std::function<std::unique_ptr<RoutingProtocol>()> factory) {
+  ECGRID_REQUIRE(factory != nullptr, "protocol factory must not be null");
+  protocolFactory_ = std::move(factory);
+  setProtocol(protocolFactory_());
 }
 
 RoutingProtocol& Node::protocol() {
@@ -110,15 +140,53 @@ void Node::sleepRadio() {
 void Node::wakeRadio() { radio_->wake(); }
 
 void Node::pageHost(NodeId target) {
-  paging_.pageHost(config_.id, position(), target);
+  paging_.pageHost(config_.id, truePosition(), target);
 }
 
 void Node::pageGrid(const geo::GridCoord& gridCoord) {
-  paging_.pageGrid(config_.id, position(), gridCoord);
+  paging_.pageGrid(config_.id, truePosition(), gridCoord);
 }
 
 void Node::deliverToApp(NodeId appSrc, const DataTag& tag, int payloadBytes) {
   if (onAppReceive_) onAppReceive_(appSrc, tag, payloadBytes);
+}
+
+void Node::crash() {
+  if (!alive() || crashed_) return;
+  ECGRID_LOG_INFO(kTag, "node " << config_.id << " crashed at t="
+                                << sim_.now());
+  crashed_ = true;
+  crashedAt_ = sim_.now();
+  tracker_->stop();
+  if (phyTracker_) phyTracker_->stop();
+  mac_->clearQueue();
+  channel_.detach(channelAttachment_);
+  paging_.detach(pagingAttachment_);
+  // powerDown (not die): the battery freezes at Off's 0 W and the death
+  // callback stays silent — the host is failed, not exhausted.
+  radio_->powerDown();
+  if (protocol_) protocol_->onShutdown();
+}
+
+void Node::restart() {
+  ECGRID_REQUIRE(crashed_, "restart() requires a crashed host");
+  ECGRID_REQUIRE(protocolFactory_ != nullptr,
+                 "restart() needs a protocol factory to rebuild state");
+  ECGRID_LOG_INFO(kTag, "node " << config_.id << " restarted at t="
+                                << sim_.now());
+  crashed_ = false;
+  radio_->powerUp();
+  attachToMedia();
+  tracker_->restart();
+  if (phyTracker_) phyTracker_->restart();
+  believedCell_ = cell();  // no event: the fresh protocol reads cell()
+  protocol_ = protocolFactory_();
+  protocol_->start();
+}
+
+void Node::setGpsError(const geo::Vec2& error) {
+  gpsError_ = error;
+  if (alive()) notifyCellMaybeChanged();
 }
 
 void Node::onDeath() {

@@ -48,6 +48,13 @@ class Node final : public HostEnv {
 
   /// Install the routing agent. Must happen before start().
   void setProtocol(std::unique_ptr<RoutingProtocol> protocol);
+
+  /// Install the routing agent through a factory so restart() can rebuild
+  /// it from scratch after a crash. Invokes the factory once immediately —
+  /// byte-identical to setProtocol for hosts that never crash.
+  void setProtocolFactory(
+      std::function<std::unique_ptr<RoutingProtocol>()> factory);
+
   RoutingProtocol& protocol();
 
   /// Called once when the simulation begins.
@@ -64,11 +71,38 @@ class Node final : public HostEnv {
   /// Fires once when the battery empties.
   void setDeathCallback(std::function<void(NodeId, sim::Time)> cb);
 
+  // --- fault injection (src/fault) -----------------------------------------
+  /// Hard host failure: radio forced Off (the battery freezes — a crash is
+  /// not a battery death, so the death callback does NOT fire), channel and
+  /// pager detached, trackers stopped, protocol shut down. alive() reads
+  /// false until restart(). No-op on hosts already down.
+  void crash();
+
+  /// Bring a crashed host back: radio powered up, media re-attached,
+  /// trackers resumed, and a FRESH protocol built from the factory — the
+  /// crash wiped all volatile routing state, as a reboot would.
+  /// Requires crashed() and a protocol factory.
+  void restart();
+
+  bool crashed() const { return crashed_; }
+  /// Time of the most recent crash (meaningful only while crashed()).
+  sim::Time crashedAt() const { return crashedAt_; }
+
+  /// GPS error: world-frame offset added to the position this host
+  /// *believes* (HostEnv::position()/cell()). Physical propagation — the
+  /// channel and pager range checks — always uses truePosition(). If the
+  /// new error moves the believed cell, the protocol sees onCellChanged.
+  void setGpsError(const geo::Vec2& error);
+  const geo::Vec2& gpsError() const { return gpsError_; }
+
+  /// Ground-truth physical position (what the channel propagates from).
+  geo::Vec2 truePosition() { return mobility_->positionAt(sim_.now()); }
+
   // --- HostEnv ------------------------------------------------------------
   sim::Simulator& simulator() override { return sim_; }
   NodeId id() const override { return config_.id; }
   const geo::GridMap& gridMap() const override { return grid_; }
-  geo::Vec2 position() override { return mobility_->positionAt(sim_.now()); }
+  geo::Vec2 position() override { return truePosition() + gpsError_; }
   geo::Vec2 velocity() override { return mobility_->velocityAt(sim_.now()); }
   geo::GridCoord cell() override { return grid_.cellOf(position()); }
   sim::Time nextPossibleCellExit() override {
@@ -97,6 +131,8 @@ class Node final : public HostEnv {
 
  private:
   void onDeath();
+  void attachToMedia();
+  void notifyCellMaybeChanged();
 
   sim::Simulator& sim_;
   geo::GridMap grid_;
@@ -111,9 +147,15 @@ class Node final : public HostEnv {
   std::unique_ptr<mobility::GridTracker> tracker_;
   std::unique_ptr<mobility::GridTracker> phyTracker_;  ///< spatial-index upkeep
   std::unique_ptr<RoutingProtocol> protocol_;
+  std::function<std::unique_ptr<RoutingProtocol>()> protocolFactory_;
 
   std::size_t channelAttachment_ = 0;
   std::size_t pagingAttachment_ = 0;
+
+  geo::Vec2 gpsError_{0.0, 0.0};
+  geo::GridCoord believedCell_{0, 0};
+  bool crashed_ = false;
+  sim::Time crashedAt_ = 0.0;
 
   std::function<void(NodeId, const DataTag&, int)> onAppReceive_;
   std::function<void(NodeId, sim::Time)> onDeathCb_;

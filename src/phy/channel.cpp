@@ -75,7 +75,7 @@ const geo::GridMap* Channel::indexGrid() const {
   return index_ ? &index_->grid() : nullptr;
 }
 
-void Channel::deliverTo(const Attachment& attachment,
+void Channel::deliverTo(const Attachment& attachment, net::NodeId senderId,
                         const geo::Vec2& senderPos, const net::Packet& stamped,
                         sim::Time duration) {
   const double rangeSq = config_.rangeMeters * config_.rangeMeters;
@@ -88,6 +88,17 @@ void Channel::deliverTo(const Attachment& attachment,
   Radio* receiver = attachment.radio;
   if (distSq <= rangeSq) {
     ++deliveriesScheduled_;
+    if (config_.deliveryFault &&
+        config_.deliveryFault(senderId, receiver->id())) {
+      // Channel error: the frame arrives as undecodable energy — carrier
+      // sense stays busy and concurrent receptions are ruined, but the
+      // frame itself is lost (the MAC's ARQ sees a missing ACK).
+      ++deliveriesCorrupted_;
+      sim_.schedule(delay, [receiver, duration] {
+        receiver->beginInterference(duration);
+      });
+      return;
+    }
     sim_.schedule(delay, [receiver, stamped, duration] {
       receiver->beginReceive(stamped, duration);
     });
@@ -120,12 +131,12 @@ void Channel::transmitFrom(Radio& sender, const net::Packet& packet,
     std::sort(scratch_.begin(), scratch_.end());
     for (std::size_t id : scratch_) {
       if (id == senderId) continue;
-      deliverTo(attachments_[id], senderPos, stamped, duration);
+      deliverTo(attachments_[id], sender.id(), senderPos, stamped, duration);
     }
   } else {
     for (const Attachment& a : attachments_) {
       if (a.radio == nullptr || a.radio == &sender) continue;
-      deliverTo(a, senderPos, stamped, duration);
+      deliverTo(a, sender.id(), senderPos, stamped, duration);
     }
   }
 }

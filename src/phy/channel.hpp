@@ -45,6 +45,14 @@ struct ChannelConfig {
   /// instead of all N. Off = the brute-force full scan (identical event
   /// schedule; kept for differential tests and as a paranoia escape hatch).
   bool useSpatialIndex = true;
+  /// Fault-injection slot (src/fault): when set, consulted once per
+  /// (transmission, in-range receiver) pair, in ascending attachment order
+  /// — identical in both fan-out modes, so the spatial-index fast path is
+  /// unaffected. Returning true corrupts that delivery: the energy still
+  /// arrives (carrier sense, collisions) but the frame cannot decode.
+  /// Null (the default) costs nothing. Also armable post-construction via
+  /// Channel::setDeliveryFault.
+  std::function<bool(net::NodeId sender, net::NodeId receiver)> deliveryFault;
 };
 
 class Channel {
@@ -83,10 +91,19 @@ class Channel {
   void transmitFrom(Radio& sender, const net::Packet& packet,
                     sim::Time duration);
 
+  /// Arm (or, with nullptr, disarm) the fault-injection slot after
+  /// construction — the FaultInjector's hook point.
+  void setDeliveryFault(
+      std::function<bool(net::NodeId sender, net::NodeId receiver)> fault) {
+    config_.deliveryFault = std::move(fault);
+  }
+
   /// Frames ever transmitted (for stats / broadcast-storm accounting).
   std::uint64_t framesTransmitted() const { return framesTransmitted_; }
   /// Sum over transmissions of in-range potential receivers.
   std::uint64_t deliveriesScheduled() const { return deliveriesScheduled_; }
+  /// In-range deliveries corrupted by the fault-injection slot.
+  std::uint64_t deliveriesCorrupted() const { return deliveriesCorrupted_; }
   /// Attachments currently live (attached and not yet detached).
   std::size_t liveAttachmentCount() const { return liveAttachments_; }
 
@@ -96,8 +113,9 @@ class Channel {
     std::function<geo::Vec2()> position;
   };
 
-  void deliverTo(const Attachment& attachment, const geo::Vec2& senderPos,
-                 const net::Packet& stamped, sim::Time duration);
+  void deliverTo(const Attachment& attachment, net::NodeId senderId,
+                 const geo::Vec2& senderPos, const net::Packet& stamped,
+                 sim::Time duration);
 
   sim::Simulator& sim_;
   ChannelConfig config_;
@@ -108,6 +126,7 @@ class Channel {
   std::size_t liveAttachments_ = 0;
   std::uint64_t framesTransmitted_ = 0;
   std::uint64_t deliveriesScheduled_ = 0;
+  std::uint64_t deliveriesCorrupted_ = 0;
   std::uint64_t nextUid_ = 1;
 };
 

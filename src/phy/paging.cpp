@@ -37,6 +37,10 @@ bool PagingChannel::inRange(const geo::Vec2& from, const Attachment& a) const {
 
 void PagingChannel::deliver(const Attachment& a,
                             const net::PageSignal& signal) {
+  if (config_.pageLoss && config_.pageLoss(a.id)) {
+    ++pagesLost_;
+    return;
+  }
   ++pagesDelivered_;
   // Copy the hook: the attachment vector may grow before the event fires.
   auto hook = a.onPaged;

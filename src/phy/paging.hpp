@@ -27,6 +27,11 @@ namespace ecgrid::phy {
 struct PagingConfig {
   double rangeMeters = 250.0;
   double latencySeconds = 2e-3;  ///< paging signal + transceiver power-up
+  /// Fault-injection slot (src/fault): when set, consulted once per
+  /// in-range pager about to receive a page; returning true means that
+  /// pager misses the page. Null (the default) costs nothing. Also
+  /// armable post-construction via setPageLoss.
+  std::function<bool(net::NodeId target)> pageLoss;
 };
 
 class PagingChannel {
@@ -54,8 +59,15 @@ class PagingChannel {
   void pageGrid(net::NodeId pagedBy, const geo::Vec2& from,
                 const geo::GridCoord& grid);
 
+  /// Arm (or, with nullptr, disarm) the page-loss fault slot.
+  void setPageLoss(std::function<bool(net::NodeId target)> loss) {
+    config_.pageLoss = std::move(loss);
+  }
+
   std::uint64_t pagesSent() const { return pagesSent_; }
   std::uint64_t pagesDelivered() const { return pagesDelivered_; }
+  /// In-range page receptions suppressed by the fault slot.
+  std::uint64_t pagesLost() const { return pagesLost_; }
 
  private:
   struct Attachment {
@@ -74,6 +86,7 @@ class PagingChannel {
   std::vector<Attachment> attachments_;
   std::uint64_t pagesSent_ = 0;
   std::uint64_t pagesDelivered_ = 0;
+  std::uint64_t pagesLost_ = 0;
 };
 
 }  // namespace ecgrid::phy

@@ -100,6 +100,23 @@ void Radio::die() {
   if (onDeath_) onDeath_();
 }
 
+void Radio::powerDown() {
+  if (state_ == RadioState::kOff) return;
+  txEnd_.cancel();
+  abortAllReceptions();
+  sleepPending_ = false;
+  setState(RadioState::kOff);
+}
+
+void Radio::powerUp() {
+  ECGRID_REQUIRE(state_ == RadioState::kOff,
+                 "powerUp requires a powered-down radio");
+  navUntil_ = 0.0;
+  interferenceUntil_ = 0.0;
+  txEndsAt_ = 0.0;
+  setState(RadioState::kIdle);
+}
+
 void Radio::transmit(const net::Packet& packet, sim::Time duration) {
   ECGRID_REQUIRE(duration > 0.0, "transmit duration must be positive");
   ECGRID_CHECK(channel_ != nullptr, "radio not attached to a channel");

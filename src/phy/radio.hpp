@@ -102,6 +102,17 @@ class Radio {
   /// unable to receive until it elapses.
   void wake();
 
+  /// Fault-injection (host crash): force the transceiver Off WITHOUT
+  /// firing the death callback — the host is failed, not battery-dead.
+  /// Off draws zero power, so the battery freezes for the downtime.
+  /// No-op if already Off.
+  void powerDown();
+
+  /// Fault-injection (host restart): bring a powered-down radio back to
+  /// Idle. Requires Off state. Carrier-sense residue (NAV, interference)
+  /// from before the crash is discarded.
+  void powerUp();
+
   /// Channel-facing: a transmission starts arriving at this radio.
   /// `duration` is its airtime; `packet` the frame carried.
   void beginReceive(const net::Packet& packet, sim::Time duration);

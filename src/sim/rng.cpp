@@ -22,6 +22,13 @@ double RngStream::exponential(double mean) {
   return dist(engine_);
 }
 
+double RngStream::gaussian(double mean, double stddev) {
+  ECGRID_REQUIRE(stddev >= 0.0, "gaussian stddev cannot be negative");
+  if (stddev == 0.0) return mean;
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
 bool RngStream::chance(double probability) {
   ECGRID_REQUIRE(probability >= 0.0 && probability <= 1.0,
                  "probability out of range");

@@ -29,6 +29,9 @@ class RngStream {
   /// Exponentially distributed with the given mean (> 0).
   double exponential(double mean);
 
+  /// Normally distributed with the given mean and stddev (>= 0).
+  double gaussian(double mean, double stddev);
+
   /// Bernoulli trial.
   bool chance(double probability);
 

@@ -39,16 +39,20 @@ void TraceRecorder::sample() {
         gateway = gaf->isLeader();
       }
     }
-    geo::Vec2 pos = node->position();
+    // x/y are ground truth (what an observer would plot); gps_err is the
+    // magnitude of the injected position error, so a viewer can colour
+    // hosts that misjudge their grid.
+    geo::Vec2 pos = node->truePosition();
     geo::GridCoord cell = node->gridMap().cellOf(pos);
     out_ << "{\"t\":" << now << ",\"id\":" << node->id()
          << ",\"x\":" << pos.x << ",\"y\":" << pos.y
          << ",\"alive\":" << (alive ? "true" : "false")
+         << ",\"crashed\":" << (node->crashed() ? "true" : "false")
          << ",\"sleeping\":" << (node->radio().sleeping() ? "true" : "false")
          << ",\"gateway\":" << (gateway ? "true" : "false")
          << ",\"cell_x\":" << cell.x << ",\"cell_y\":" << cell.y
          << ",\"battery\":" << node->batteryRef().remainingRatio(now)
-         << "}\n";
+         << ",\"gps_err\":" << node->gpsError().length() << "}\n";
     ++lines_;
   }
 }

@@ -6,9 +6,15 @@
 // script (or jq) can animate gateway hand-offs, sleep coverage, and death
 // waves:
 //
-//   {"t":120.0,"id":17,"x":431.2,"y":87.9,"alive":true,
+//   {"t":120.0,"id":17,"x":431.2,"y":87.9,"alive":true,"crashed":false,
 //    "sleeping":false,"gateway":true,"cell_x":4,"cell_y":0,
-//    "battery":0.73}
+//    "battery":0.73,"gps_err":0}
+//
+// x/y (and cell_x/cell_y) are ground truth; under an injected GPS fault
+// the host itself may believe a different cell, and `gps_err` carries the
+// magnitude of its position error. `crashed` distinguishes an injected
+// host failure (battery frozen, may restart) from battery death
+// (`alive` false, `crashed` false).
 #pragma once
 
 #include <fstream>

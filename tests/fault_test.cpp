@@ -1,0 +1,412 @@
+// Fault-injection subsystem tests: error-model statistics against the
+// analytic Gilbert–Elliott values, the zero-fault byte-identity guarantee,
+// crash/restart semantics at the node level, deterministic fault runs
+// through the scenario harness, and the proximity-gated gateway audit.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "check/audits.hpp"
+#include "check/invariant_auditor.hpp"
+#include "fault/error_model.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "harness/scenario.hpp"
+#include "test_net.hpp"
+
+namespace ecgrid {
+namespace {
+
+// --------------------------------------------------------------------------
+// FaultPlan value semantics
+
+TEST(FaultPlan, EmptyUntilAnyFaultIsArmed) {
+  fault::FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+
+  plan.channel.kind = fault::ChannelErrorKind::kIid;
+  EXPECT_FALSE(plan.empty());
+
+  plan = {};
+  plan.hosts.crashes.push_back({3, 10.0});
+  EXPECT_FALSE(plan.empty());
+
+  plan = {};
+  plan.hosts.crashRatePerHostPerSecond = 1e-3;
+  EXPECT_FALSE(plan.empty());
+
+  plan = {};
+  plan.gps.offsetStddevMeters = 5.0;
+  EXPECT_FALSE(plan.empty());
+
+  plan = {};
+  plan.gps.driftStddevMeters = 1.0;
+  EXPECT_FALSE(plan.empty());
+
+  plan = {};
+  plan.paging.lossProbability = 0.1;
+  EXPECT_FALSE(plan.empty());
+}
+
+// --------------------------------------------------------------------------
+// Error models, driven directly against the analytic values
+
+TEST(GilbertElliott, HelperHitsTargetStationaryLoss) {
+  fault::ChannelFault ch;
+  ch.kind = fault::ChannelErrorKind::kGilbertElliott;
+  ch.pBadToGood = 0.05;  // mean burst = 20 frames
+  ch.pGoodToBad = fault::gilbertElliottPGoodToBad(0.2, ch.pBadToGood);
+  fault::GilbertElliottModel model(ch, sim::RngStream(1));
+  EXPECT_NEAR(model.stationaryLoss(), 0.2, 1e-12);
+  EXPECT_DOUBLE_EQ(model.meanBadSojournFrames(), 20.0);
+
+  EXPECT_THROW(fault::gilbertElliottPGoodToBad(1.0, 0.05),
+               std::invalid_argument);
+  EXPECT_THROW(fault::gilbertElliottPGoodToBad(0.2, 0.0),
+               std::invalid_argument);
+}
+
+TEST(GilbertElliott, EmpiricalLossAndBurstLengthMatchAnalytic) {
+  // lossGood = 0, lossBad = 1 (the defaults), so a run of consecutive
+  // drops IS one bad-state sojourn: both the loss rate and the mean burst
+  // length are checkable against closed form.
+  fault::ChannelFault ch;
+  ch.kind = fault::ChannelErrorKind::kGilbertElliott;
+  ch.pBadToGood = 0.05;
+  ch.pGoodToBad = fault::gilbertElliottPGoodToBad(0.2, ch.pBadToGood);
+  fault::GilbertElliottModel model(ch, sim::RngStream(42));
+
+  const int kFrames = 200000;
+  int drops = 0, bursts = 0;
+  bool prevDrop = false;
+  for (int i = 0; i < kFrames; ++i) {
+    bool drop = model.dropDelivery(/*sender=*/1, /*receiver=*/2);
+    if (drop) {
+      ++drops;
+      if (!prevDrop) ++bursts;
+    }
+    prevDrop = drop;
+  }
+  double empiricalLoss = static_cast<double>(drops) / kFrames;
+  EXPECT_NEAR(empiricalLoss, model.stationaryLoss(), 0.02);
+  ASSERT_GT(bursts, 0);
+  double meanBurst = static_cast<double>(drops) / bursts;
+  EXPECT_NEAR(meanBurst, model.meanBadSojournFrames(), 2.0);
+}
+
+TEST(GilbertElliott, KeepsIndependentChainsPerReceiver) {
+  // A receiver that never takes frames while another is mid-burst must
+  // still start Good: the first frame each receiver ever sees can only
+  // drop with lossGood (= 0 here), whatever the other chains are doing.
+  fault::ChannelFault ch;
+  ch.kind = fault::ChannelErrorKind::kGilbertElliott;
+  ch.pGoodToBad = 1.0;  // enter the bad state immediately…
+  ch.pBadToGood = 1e-9;  // …and essentially never leave
+  fault::GilbertElliottModel model(ch, sim::RngStream(3));
+  EXPECT_FALSE(model.dropDelivery(1, 7));  // receiver 7: first frame, Good
+  EXPECT_TRUE(model.dropDelivery(1, 7));   // now stuck Bad
+  EXPECT_FALSE(model.dropDelivery(1, 8));  // fresh receiver still starts Good
+  EXPECT_TRUE(model.dropDelivery(1, 7));
+}
+
+TEST(IidLossModel, EmpiricalLossMatchesProbability) {
+  fault::IidLossModel model(0.3, sim::RngStream(7));
+  const int kFrames = 100000;
+  int drops = 0;
+  for (int i = 0; i < kFrames; ++i) {
+    if (model.dropDelivery(1, 2)) ++drops;
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / kFrames, 0.3, 0.01);
+  EXPECT_THROW(fault::IidLossModel(1.5, sim::RngStream(7)),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------------------------
+// Node-level crash/restart semantics
+
+core::EcgridConfig oracleConfig(net::Network& network) {
+  core::EcgridConfig config;
+  config.base.locationHint =
+      [&network](net::NodeId id) -> std::optional<geo::GridCoord> {
+    net::Node* node = network.findNode(id);
+    if (node == nullptr || !node->alive()) return std::nullopt;
+    return node->cell();
+  };
+  return config;
+}
+
+TEST(NodeCrash, FreezesBatteryDetachesMediaAndRestartRejoins) {
+  test::TestNet net;
+  for (int i = 0; i < 4; ++i) net.addStatic(i, {20.0 + 10.0 * i, 20.0});
+  for (auto& node : net.network.nodes()) {
+    net::Node* raw = node.get();
+    raw->setProtocolFactory([raw, &net] {
+      return std::make_unique<core::EcgridProtocol>(*raw,
+                                                    oracleConfig(net.network));
+    });
+  }
+  net.start(5.0);
+  ASSERT_EQ(net.network.channel().liveAttachmentCount(), 4u);
+  ASSERT_EQ(net.network.aliveCount(), 4u);
+
+  net::Node& victim = *net.network.findNode(2);
+  victim.crash();
+  EXPECT_TRUE(victim.crashed());
+  EXPECT_FALSE(victim.alive());
+  EXPECT_DOUBLE_EQ(victim.crashedAt(), net.simulator.now());
+  EXPECT_EQ(net.network.channel().liveAttachmentCount(), 3u);
+  EXPECT_EQ(net.network.aliveCount(), 3u);
+  victim.crash();  // no-op on an already-down host
+  EXPECT_EQ(net.network.channel().liveAttachmentCount(), 3u);
+
+  // A crash is not a battery death: while down, the host burns nothing.
+  double joulesAtCrash = victim.batteryRef().remainingJ(net.simulator.now());
+  net.simulator.run(net.simulator.now() + 20.0);
+  EXPECT_DOUBLE_EQ(victim.batteryRef().remainingJ(net.simulator.now()),
+                   joulesAtCrash);
+
+  victim.restart();
+  EXPECT_FALSE(victim.crashed());
+  EXPECT_TRUE(victim.alive());
+  EXPECT_EQ(net.network.channel().liveAttachmentCount(), 4u);
+  EXPECT_EQ(net.network.aliveCount(), 4u);
+  net.simulator.run(net.simulator.now() + 10.0);
+  EXPECT_FALSE(net.gateways().empty());  // fresh stack rejoined the mesh
+}
+
+TEST(NodeCrash, RestartRequiresACrashAndAFactory) {
+  test::TestNet net;
+  net::Node& plain = net.addStatic(0, {20.0, 20.0});
+  net.installEcgrid(plain);
+  net.start(1.0);
+  EXPECT_THROW(plain.restart(), std::invalid_argument);  // not crashed
+  plain.crash();
+  EXPECT_THROW(plain.restart(), std::invalid_argument);  // no factory
+}
+
+TEST(FaultInjector, RejectsBogusScriptedCrashes) {
+  test::TestNet net;
+  net::Node& node = net.addStatic(0, {20.0, 20.0});
+  net.installEcgrid(node);
+
+  fault::FaultPlan unknownHost;
+  unknownHost.hosts.crashes.push_back({99, 10.0});
+  EXPECT_THROW(
+      fault::FaultInjector(net.simulator, net.network, unknownHost),
+      std::invalid_argument);
+
+  fault::FaultPlan restartBeforeCrash;
+  restartBeforeCrash.hosts.crashes.push_back({0, 10.0, 5.0});
+  EXPECT_THROW(
+      fault::FaultInjector(net.simulator, net.network, restartBeforeCrash),
+      std::invalid_argument);
+}
+
+TEST(FaultInjector, PagingFaultSwallowsPages) {
+  test::TestNet net;
+  for (int i = 0; i < 3; ++i) net.addStatic(i, {20.0 + 30.0 * i, 20.0});
+  net.installEcgridEverywhere();
+
+  fault::FaultPlan plan;
+  plan.paging.lossProbability = 1.0;  // every page is missed
+  fault::FaultInjector injector(net.simulator, net.network, plan);
+  net.start(1.0);
+
+  std::uint64_t lostBefore = net.network.paging().pagesLost();
+  net.network.findNode(0)->pageHost(2);
+  net.simulator.run(net.simulator.now() + 1.0);
+  EXPECT_GT(net.network.paging().pagesLost(), lostBefore);
+}
+
+// --------------------------------------------------------------------------
+// Scenario-level: byte-identity, crash dips, Poisson determinism, GPS
+
+harness::ScenarioConfig faultBase() {
+  harness::ScenarioConfig config;
+  config.hostCount = 40;
+  config.flowCount = 1;
+  config.packetsPerSecondPerFlow = 10.0;
+  config.duration = 120.0;
+  config.seed = 7;
+  config.auditInvariants = true;  // any audit violation aborts the run
+  return config;
+}
+
+void expectIdenticalRuns(const harness::ScenarioResult& a,
+                         const harness::ScenarioResult& b) {
+  EXPECT_EQ(a.packetsSent, b.packetsSent);
+  EXPECT_EQ(a.packetsReceived, b.packetsReceived);
+  EXPECT_EQ(a.eventsExecuted, b.eventsExecuted);
+  EXPECT_EQ(a.framesTransmitted, b.framesTransmitted);
+  EXPECT_DOUBLE_EQ(a.meanLatencySeconds, b.meanLatencySeconds);
+  ASSERT_EQ(a.aen.size(), b.aen.size());
+  for (std::size_t i = 0; i < a.aen.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.aen.points()[i].second, b.aen.points()[i].second);
+  }
+}
+
+class ZeroEffectPlan : public ::testing::TestWithParam<harness::ProtocolKind> {
+};
+
+TEST_P(ZeroEffectPlan, IsByteIdenticalToNoFaultLayerAtAll) {
+  // The injector is armed — the channel hook runs on every delivery and a
+  // scripted crash sits beyond the horizon — but nothing it does can have
+  // an effect, so the run must match an un-instrumented one exactly: the
+  // fault layer draws only from its own RNG streams and schedules no
+  // observable work.
+  harness::ScenarioConfig config = faultBase();
+  config.protocol = GetParam();
+  config.duration = 60.0;
+  harness::ScenarioResult bare = harness::runScenario(config);
+
+  config.fault.channel.kind = fault::ChannelErrorKind::kIid;
+  config.fault.channel.lossProbability = 0.0;  // hook runs, never corrupts
+  config.fault.hosts.crashes.push_back(
+      {0, config.duration + 100.0});  // scheduled, never fires
+  harness::ScenarioResult armed = harness::runScenario(config);
+
+  expectIdenticalRuns(bare, armed);
+  EXPECT_EQ(armed.crashesInjected, 0u);
+  EXPECT_EQ(armed.restartsInjected, 0u);
+  EXPECT_EQ(armed.deliveriesCorrupted, 0u);
+  EXPECT_EQ(armed.pagesLost, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, ZeroEffectPlan,
+                         ::testing::Values(harness::ProtocolKind::kGrid,
+                                           harness::ProtocolKind::kEcgrid,
+                                           harness::ProtocolKind::kGaf,
+                                           harness::ProtocolKind::kFlooding));
+
+TEST(ScenarioFault, ScheduledCrashDipsAliveFractionAndRestartRecovers) {
+  harness::ScenarioConfig config = faultBase();
+  config.protocol = harness::ProtocolKind::kEcgrid;
+  config.fault.hosts.crashes.push_back({10, 30.0, 60.0});
+  config.fault.hosts.crashes.push_back({11, 30.0, 60.0});
+  // Audits stay armed (kThrow): the run completing proves the fault-aware
+  // audits accept crashed hosts as down rather than flagging them.
+  harness::ScenarioResult result = harness::runScenario(config);
+
+  EXPECT_EQ(result.crashesInjected, 2u);
+  EXPECT_EQ(result.restartsInjected, 2u);
+  EXPECT_DOUBLE_EQ(result.aliveFraction.valueAt(45.0), 38.0 / 40.0);
+  EXPECT_DOUBLE_EQ(result.aliveFraction.valueAt(110.0), 1.0);
+  EXPECT_TRUE(result.deathTimes.empty());  // crashes are not battery deaths
+  EXPECT_GT(result.deliveryRate, 0.5);
+}
+
+TEST(ScenarioFault, BurstLossDegradesButArqAbsorbsMost) {
+  harness::ScenarioConfig config = faultBase();
+  config.protocol = harness::ProtocolKind::kEcgrid;
+  config.fault.channel.kind = fault::ChannelErrorKind::kGilbertElliott;
+  config.fault.channel.pBadToGood = 0.05;
+  config.fault.channel.pGoodToBad =
+      fault::gilbertElliottPGoodToBad(0.2, 0.05);
+  harness::ScenarioResult result = harness::runScenario(config);
+  EXPECT_GT(result.deliveriesCorrupted, 100u);
+  EXPECT_GT(result.deliveryRate, 0.5) << "ARQ should ride out 20% burst loss";
+}
+
+TEST(ScenarioFault, FullAdversePlanIsDeterministicPerSeed) {
+  harness::ScenarioConfig config = faultBase();
+  config.protocol = harness::ProtocolKind::kEcgrid;
+  config.fault.channel.kind = fault::ChannelErrorKind::kGilbertElliott;
+  config.fault.channel.pBadToGood = 0.05;
+  config.fault.channel.pGoodToBad =
+      fault::gilbertElliottPGoodToBad(0.1, 0.05);
+  config.fault.hosts.crashRatePerHostPerSecond = 2e-3;
+  config.fault.hosts.meanDowntimeSeconds = 20.0;
+  config.fault.gps.offsetStddevMeters = 30.0;
+  config.fault.gps.driftStddevMeters = 3.0;
+  config.fault.paging.lossProbability = 0.2;
+
+  harness::ScenarioResult a = harness::runScenario(config);
+  harness::ScenarioResult b = harness::runScenario(config);
+  expectIdenticalRuns(a, b);
+  EXPECT_EQ(a.crashesInjected, b.crashesInjected);
+  EXPECT_EQ(a.restartsInjected, b.restartsInjected);
+  EXPECT_EQ(a.deliveriesCorrupted, b.deliveriesCorrupted);
+  EXPECT_EQ(a.pagesLost, b.pagesLost);
+
+  // 40 hosts × 120 s × 2e-3 crashes/host/s ≈ 9.6 expected crashes.
+  EXPECT_GT(a.crashesInjected, 0u);
+  EXPECT_GE(a.crashesInjected, a.restartsInjected);
+  EXPECT_GT(a.deliveriesCorrupted, 0u);
+
+  config.seed = 8;
+  harness::ScenarioResult c = harness::runScenario(config);
+  EXPECT_NE(a.eventsExecuted, c.eventsExecuted);
+}
+
+TEST(ScenarioFault, GpsErrorRunsCleanUnderAudits) {
+  // With σ = 40 m hosts routinely misjudge their own 100 m grid. The
+  // proximity-gated gateway audit (armed automatically when a GPS fault
+  // is present) must not flag physically-distant double claims, so the
+  // kThrow run completes.
+  harness::ScenarioConfig config = faultBase();
+  config.protocol = harness::ProtocolKind::kEcgrid;
+  config.fault.gps.offsetStddevMeters = 40.0;
+  config.fault.gps.driftStddevMeters = 5.0;
+  harness::ScenarioResult result = harness::runScenario(config);
+  EXPECT_GT(result.packetsSent, 100u);
+  EXPECT_GT(result.deliveryRate, 0.2);
+}
+
+// --------------------------------------------------------------------------
+// Proximity-gated gateway-uniqueness audit
+
+// Record-mode auditor exposing one stateful audit (same shape as the
+// Probe helper in invariant_audit_test.cpp).
+class Probe {
+ public:
+  explicit Probe(std::function<void(check::AuditContext&)> fn)
+      : auditor_(check::FailMode::kRecord) {
+    auditor_.add("probe", std::move(fn));
+  }
+  std::size_t violationsAfter(sim::Time now) {
+    auditor_.run(now);
+    return auditor_.violations().size();
+  }
+
+ private:
+  check::InvariantAuditor auditor_;
+};
+
+TEST(GatewayUniquenessAudit, ProximityModeExemptsUnhearableClaimants) {
+  check::GatewayUniquenessAudit audit(/*conflictGrace=*/5.0,
+                                      /*conflictRangeMeters=*/250.0);
+  // Both claim grid (3,4) but sit ~1130 m apart: no HELLO can ever settle
+  // the contest, so it must never be reported.
+  std::vector<check::GatewaySighting> sightings = {
+      {{3, 4}, 7, {100.0, 100.0}},
+      {{3, 4}, 9, {900.0, 900.0}},
+  };
+  Probe probe(
+      [&](check::AuditContext& context) { audit.observe(sightings, context); });
+  EXPECT_EQ(probe.violationsAfter(100.0), 0u);
+  EXPECT_EQ(probe.violationsAfter(200.0), 0u);
+
+  // Bring one claimant into radio range: now the contest is resolvable
+  // and the usual grace window applies.
+  sightings[1].position = {220.0, 100.0};
+  EXPECT_EQ(probe.violationsAfter(300.0), 0u);
+  ASSERT_EQ(probe.violationsAfter(306.0), 1u);
+}
+
+TEST(GatewayUniquenessAudit, StrictModeStillCountsDistantClaimants) {
+  check::GatewayUniquenessAudit audit(/*conflictGrace=*/5.0,
+                                      /*conflictRangeMeters=*/0.0);
+  std::vector<check::GatewaySighting> sightings = {
+      {{3, 4}, 7, {100.0, 100.0}},
+      {{3, 4}, 9, {900.0, 900.0}},
+  };
+  Probe probe(
+      [&](check::AuditContext& context) { audit.observe(sightings, context); });
+  EXPECT_EQ(probe.violationsAfter(100.0), 0u);
+  ASSERT_EQ(probe.violationsAfter(106.0), 1u);
+}
+
+}  // namespace
+}  // namespace ecgrid

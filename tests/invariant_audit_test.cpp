@@ -94,24 +94,24 @@ TEST(GatewayUniquenessAudit, AcceptsUniqueGatewaysAndTransientConflicts) {
   Probe probe([&](AuditContext& context) { audit.observe(sightings, context); });
 
   // Distinct grids: never a conflict.
-  sightings = {{{0, 0}, 1}, {{1, 0}, 2}};
+  sightings = {{{0, 0}, 1, {}}, {{1, 0}, 2, {}}};
   EXPECT_EQ(probe.violationsAfter(0.0), 0u);
 
   // A split-brain that resolves within the grace window is fine.
-  sightings = {{{0, 0}, 1}, {{0, 0}, 2}};
+  sightings = {{{0, 0}, 1, {}}, {{0, 0}, 2, {}}};
   EXPECT_EQ(probe.violationsAfter(10.0), 0u);
   EXPECT_EQ(probe.violationsAfter(14.0), 0u);
-  sightings = {{{0, 0}, 2}};
+  sightings = {{{0, 0}, 2, {}}};
   EXPECT_EQ(probe.violationsAfter(16.0), 0u);
 
   // Re-contest restarts the clock.
-  sightings = {{{0, 0}, 1}, {{0, 0}, 2}};
+  sightings = {{{0, 0}, 1, {}}, {{0, 0}, 2, {}}};
   EXPECT_EQ(probe.violationsAfter(20.0), 0u);
 }
 
 TEST(GatewayUniquenessAudit, FiresOnPersistentDoubleGateway) {
   GatewayUniquenessAudit audit(/*conflictGrace=*/5.0);
-  std::vector<GatewaySighting> sightings = {{{3, 4}, 7}, {{3, 4}, 9}};
+  std::vector<GatewaySighting> sightings = {{{3, 4}, 7, {}}, {{3, 4}, 9, {}}};
   Probe probe([&](AuditContext& context) { audit.observe(sightings, context); });
   EXPECT_EQ(probe.violationsAfter(100.0), 0u);
   ASSERT_EQ(probe.violationsAfter(106.0), 1u);
