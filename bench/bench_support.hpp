@@ -11,6 +11,9 @@
 //                             1 = serial; results are identical either way)
 //   ECGRID_BENCH_HORIZON=S  — cap every run's duration at S seconds (CI
 //                             smoke under slow sanitizers)
+//   ECGRID_BENCH_OUT=DIR    — write artifacts to DIR instead of bench_out/
+//                             (CI scratch runs; keeps committed records
+//                             untouched)
 #pragma once
 
 #include <chrono>
@@ -91,8 +94,14 @@ inline harness::ScenarioConfig paperBaseline() {
   return config;
 }
 
+/// Artifact directory: bench_out/ by default, ECGRID_BENCH_OUT overrides.
+/// CI smoke runs point this at a scratch directory so regenerated output
+/// never collides with the committed BENCH_*.json reference records —
+/// refreshing those is a deliberate local run into the default dir.
 inline std::string outputDir() {
-  std::filesystem::path dir = "bench_out";
+  const char* env = std::getenv("ECGRID_BENCH_OUT");
+  std::filesystem::path dir =
+      (env != nullptr && *env != '\0') ? env : "bench_out";
   std::filesystem::create_directories(dir);
   return dir.string();
 }

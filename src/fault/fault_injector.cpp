@@ -109,9 +109,14 @@ void FaultInjector::gpsDriftTick() {
 }
 
 void FaultInjector::schedulePoissonCrash(net::Node& node) {
+  poissonPending_.insert(node.id());
   sim::Time dt =
       crashRng_.exponential(1.0 / plan_.hosts.crashRatePerHostPerSecond);
   sim_.schedule(dt, [this, &node] {
+    // Clear the pending marker even when the crash no-ops on an
+    // already-down host: the next restart (whatever revives the host)
+    // re-arms the process via restartNow.
+    poissonPending_.erase(node.id());
     crashNow(node, sim::kTimeNever, /*poisson=*/true);
   });
 }
@@ -126,17 +131,24 @@ void FaultInjector::crashNow(net::Node& node, sim::Time restartAt,
         sim_.now() + crashRng_.exponential(plan_.hosts.meanDowntimeSeconds);
   }
   if (restartAt < sim::kTimeNever) {
-    sim_.scheduleAt(restartAt,
-                    [this, &node, poisson] { restartNow(node, poisson); });
+    sim_.scheduleAt(restartAt, [this, &node] { restartNow(node); });
   }
 }
 
-void FaultInjector::restartNow(net::Node& node, bool poisson) {
-  if (!node.crashed()) return;
+void FaultInjector::restartNow(net::Node& node) {
+  if (!node.crashed()) return;  // stale event: another restart beat us
   node.restart();
   ++restarts_;
-  // A rebooted host re-enters the failure process.
-  if (poisson) schedulePoissonCrash(node);
+  // A rebooted member of the Poisson pool re-enters the failure process —
+  // regardless of which event (Poisson downtime or a scripted restart)
+  // revived it — unless a crash for it is already in flight. Keying on
+  // the reviving event instead would leak hosts out of the pool: a
+  // scripted restart firing during Poisson downtime rebooted the host
+  // with no Poisson crash pending, ending its failure process for good.
+  if (plan_.hosts.crashRatePerHostPerSecond > 0.0 && faultEligible(node) &&
+      poissonPending_.count(node.id()) == 0) {
+    schedulePoissonCrash(node);
+  }
 }
 
 }  // namespace ecgrid::fault

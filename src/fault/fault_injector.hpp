@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_set>
 
 #include "fault/error_model.hpp"
 #include "fault/fault_plan.hpp"
@@ -54,7 +55,7 @@ class FaultInjector {
   void armGps();
   bool faultEligible(const net::Node& node) const;
   void crashNow(net::Node& node, sim::Time restartAt, bool poisson);
-  void restartNow(net::Node& node, bool poisson);
+  void restartNow(net::Node& node);
   void schedulePoissonCrash(net::Node& node);
   void gpsDriftTick();
 
@@ -69,6 +70,15 @@ class FaultInjector {
 
   std::uint64_t crashes_ = 0;
   std::uint64_t restarts_ = 0;
+
+  /// Hosts with a Poisson crash event currently in flight. Membership in
+  /// the Poisson failure *pool* is (crashRate > 0 && faultEligible);
+  /// this set only tracks the pending event so that a restart — whatever
+  /// event revived the host — can re-arm the process exactly when no
+  /// crash is already scheduled. Without it, a Poisson crash event that
+  /// no-ops on an already-down host (or a scripted restart reviving a
+  /// host mid-downtime) would silently end that host's failure process.
+  std::unordered_set<net::NodeId> poissonPending_;
 };
 
 }  // namespace ecgrid::fault

@@ -119,6 +119,10 @@ void CsmaMac::clearQueue() {
   ackTimer_.cancel();
   accessPending_ = false;
   awaitingAck_ = false;
+  // Also drop the transmit latch: a crash mid-transmission cancels the
+  // radio's tx-end event, so onTxComplete would never clear it and the
+  // MAC would be wedged forever after restart.
+  transmitting_ = false;
 }
 
 void CsmaMac::scheduleAccess() {

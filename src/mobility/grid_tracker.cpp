@@ -6,14 +6,22 @@ namespace ecgrid::mobility {
 
 GridTracker::GridTracker(sim::Simulator& sim, const geo::GridMap& grid,
                          MobilityModel& model,
-                         CellChangeCallback onCellChanged)
+                         CellChangeCallback onCellChanged,
+                         PositionOffset offset)
     : sim_(sim),
       grid_(grid),
       model_(model),
-      onCellChanged_(std::move(onCellChanged)) {
+      onCellChanged_(std::move(onCellChanged)),
+      offset_(std::move(offset)) {
   ECGRID_REQUIRE(onCellChanged_ != nullptr, "cell-change callback required");
-  cell_ = grid_.cellOf(model_.positionAt(sim_.now()));
+  cell_ = observedCell();
   arm();
+}
+
+geo::GridCoord GridTracker::observedCell() {
+  geo::Vec2 pos = model_.positionAt(sim_.now());
+  if (offset_) pos += offset_();
+  return grid_.cellOf(pos);
 }
 
 void GridTracker::stop() {
@@ -25,20 +33,34 @@ void GridTracker::restart() {
   if (!stopped_) return;
   stopped_ = false;
   pending_.cancel();
-  cell_ = grid_.cellOf(model_.positionAt(sim_.now()));
+  cell_ = observedCell();
+  arm();
+}
+
+void GridTracker::refresh() {
+  if (stopped_) return;
+  pending_.cancel();
+  geo::GridCoord now = observedCell();
+  if (now != cell_) {
+    geo::GridCoord old = cell_;
+    cell_ = now;
+    onCellChanged_(old, now);
+    if (stopped_) return;  // callback may have stopped us
+  }
   arm();
 }
 
 void GridTracker::arm() {
   if (stopped_) return;
-  sim::Time next = model_.nextPossibleCellExit(grid_, sim_.now());
+  sim::Time next = model_.nextPossibleCellExit(
+      grid_, sim_.now(), offset_ ? offset_() : geo::Vec2{});
   if (next >= sim::kTimeNever) return;  // static host: nothing to track
   pending_ = sim_.scheduleAt(next, [this] { onTimer(); });
 }
 
 void GridTracker::onTimer() {
   if (stopped_) return;
-  geo::GridCoord now = grid_.cellOf(model_.positionAt(sim_.now()));
+  geo::GridCoord now = observedCell();
   if (now != cell_) {
     geo::GridCoord old = cell_;
     cell_ = now;

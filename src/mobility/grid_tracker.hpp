@@ -8,6 +8,11 @@
 // change, and re-arms. This gives protocols exact "host entered/left grid"
 // notifications with zero polling — the discrete-event analogue of the
 // paper's GPS-driven dwell estimation.
+//
+// An optional PositionOffset makes the tracker watch a *shifted* position
+// (believed position under GPS error) with the same exactness: a constant
+// offset just translates every boundary, so crossing times stay
+// computable. refresh() re-tests immediately when the offset changes.
 #pragma once
 
 #include <functional>
@@ -22,10 +27,17 @@ class GridTracker {
  public:
   using CellChangeCallback =
       std::function<void(const geo::GridCoord& from, const geo::GridCoord& to)>;
+  /// Optional world-frame shift applied to the model's position before
+  /// the cell test: tracking a *believed* position (true + GPS error)
+  /// instead of the ground truth. Must be cheap; re-read at every check.
+  using PositionOffset = std::function<geo::Vec2()>;
 
   /// Starts tracking immediately. `model` and `sim` must outlive this.
+  /// With no `offset` (or one returning zero) the tracker watches
+  /// ground-truth crossings exactly as before.
   GridTracker(sim::Simulator& sim, const geo::GridMap& grid,
-              MobilityModel& model, CellChangeCallback onCellChanged);
+              MobilityModel& model, CellChangeCallback onCellChanged,
+              PositionOffset offset = nullptr);
 
   ~GridTracker() { stop(); }
 
@@ -43,14 +55,22 @@ class GridTracker {
   /// for movement that happened while stopped.
   void restart();
 
+  /// The position offset changed (e.g. a GPS-error update): re-test the
+  /// cell *now* — firing the callback if the shift moved it — and re-arm
+  /// the boundary timer against the shifted geometry. No-op while
+  /// stopped.
+  void refresh();
+
  private:
   void arm();
   void onTimer();
+  geo::GridCoord observedCell();
 
   sim::Simulator& sim_;
   geo::GridMap grid_;
   MobilityModel& model_;
   CellChangeCallback onCellChanged_;
+  PositionOffset offset_;
   geo::GridCoord cell_;
   sim::EventHandle pending_;
   bool stopped_ = false;

@@ -13,8 +13,9 @@ constexpr double kBoundaryEpsilon = 1e-6;
 }  // namespace
 
 sim::Time MobilityModel::nextPossibleCellExit(const geo::GridMap& grid,
-                                              sim::Time t) {
-  geo::Vec2 pos = positionAt(t);
+                                              sim::Time t,
+                                              const geo::Vec2& offset) {
+  geo::Vec2 pos = positionAt(t) + offset;
   geo::Vec2 vel = velocityAt(t);
   double exit = grid.timeToExitCell(pos, vel);
   sim::Time byMotion =

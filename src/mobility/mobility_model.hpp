@@ -37,7 +37,13 @@ class MobilityModel {
   /// current leg or because its velocity changes first. This is the
   /// paper's sleep-timer estimate ("depends on the location and velocity
   /// of the host", §3.2). Guaranteed strictly greater than `t`.
-  sim::Time nextPossibleCellExit(const geo::GridMap& grid, sim::Time t);
+  ///
+  /// `offset` shifts the position the boundary test runs against without
+  /// touching the trajectory — a host with GPS error plans around the cell
+  /// it *believes* it occupies (believed position = true position +
+  /// offset, same velocity, so the crossing time stays exact).
+  sim::Time nextPossibleCellExit(const geo::GridMap& grid, sim::Time t,
+                                 const geo::Vec2& offset = {});
 };
 
 /// A host that never moves; used by tests and static-deployment examples.

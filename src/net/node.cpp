@@ -43,15 +43,18 @@ Node::Node(sim::Simulator& sim, const geo::GridMap& grid,
     if (protocol_ && alive()) protocol_->onSendFailed(packet);
   });
 
-  // The tracker watches ground-truth boundary crossings; the *believed*
-  // cell (true position + GPS error) is re-derived at each crossing and
-  // at every GPS-error update, so under fault-free GPS the two coincide
-  // exactly and the protocol sees the classic crossing events.
+  // The tracker watches the *believed* position (true position + GPS
+  // error): a static offset only translates the boundaries, so crossings
+  // of the believed grid are still exact events, firing when the host's
+  // own notion of its cell changes — which may be well before or after
+  // the ground-truth crossing. With zero GPS error the offset vanishes
+  // and the protocol sees the classic ground-truth crossing stream.
   tracker_ = std::make_unique<mobility::GridTracker>(
       sim_, grid_, *mobility_,
       [this](const geo::GridCoord&, const geo::GridCoord&) {
         notifyCellMaybeChanged();
-      });
+      },
+      [this] { return gpsError_; });
   believedCell_ = cell();
 
   // Keep the channel's spatial index current: re-bucket this radio every
@@ -186,7 +189,11 @@ void Node::restart() {
 
 void Node::setGpsError(const geo::Vec2& error) {
   gpsError_ = error;
-  if (alive()) notifyCellMaybeChanged();
+  // refresh() both re-tests the believed cell now (firing onCellChanged
+  // through the tracker callback if it moved) and re-arms the boundary
+  // timer against the shifted geometry; notifyCellMaybeChanged alone
+  // would leave the timer aimed at the old boundaries.
+  if (alive()) tracker_->refresh();
 }
 
 void Node::onDeath() {

@@ -106,7 +106,9 @@ class Node final : public HostEnv {
   geo::Vec2 velocity() override { return mobility_->velocityAt(sim_.now()); }
   geo::GridCoord cell() override { return grid_.cellOf(position()); }
   sim::Time nextPossibleCellExit() override {
-    return mobility_->nextPossibleCellExit(grid_, sim_.now());
+    // Sleep timers are planned around the cell the host *believes* it is
+    // in, consistent with position()/cell() above.
+    return mobility_->nextPossibleCellExit(grid_, sim_.now(), gpsError_);
   }
   LinkLayer& link() override { return *mac_; }
   void sleepRadio() override;

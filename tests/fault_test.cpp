@@ -126,6 +126,37 @@ TEST(IidLossModel, EmpiricalLossMatchesProbability) {
 // --------------------------------------------------------------------------
 // Node-level crash/restart semantics
 
+/// Payload-only header for driving the MAC directly.
+class StubHeader final : public net::Header {
+ public:
+  int bytes() const override { return 66; }
+  const char* name() const override { return "STUB"; }
+};
+
+/// Do-nothing protocol that records every onCellChanged with its time.
+/// Doubles as the trivial factory product for restart-path tests.
+class CellChangeRecorder final : public net::RoutingProtocol {
+ public:
+  CellChangeRecorder(
+      net::HostEnv& env,
+      std::vector<std::pair<sim::Time, geo::GridCoord>>* log = nullptr)
+      : env_(env), log_(log) {}
+  const char* name() const override { return "recorder"; }
+  void start() override {}
+  void onFrame(const net::Packet&) override {}
+  void sendData(net::NodeId, int, const net::DataTag&) override {}
+  void onPaged(const net::PageSignal&) override {}
+  void onCellChanged(const geo::GridCoord&,
+                     const geo::GridCoord& to) override {
+    if (log_ != nullptr) log_->emplace_back(env_.simulator().now(), to);
+  }
+  void onShutdown() override {}
+
+ private:
+  net::HostEnv& env_;
+  std::vector<std::pair<sim::Time, geo::GridCoord>>* log_;
+};
+
 core::EcgridConfig oracleConfig(net::Network& network) {
   core::EcgridConfig config;
   config.base.locationHint =
@@ -176,6 +207,46 @@ TEST(NodeCrash, FreezesBatteryDetachesMediaAndRestartRejoins) {
   EXPECT_FALSE(net.gateways().empty());  // fresh stack rejoined the mesh
 }
 
+TEST(NodeCrash, MidTransmissionCrashDoesNotWedgeTheMac) {
+  test::TestNet net;
+  net::Node& victim = net.addStatic(0, {20.0, 20.0});
+  net::Node& peer = net.addStatic(1, {70.0, 20.0});
+  victim.setProtocolFactory([&victim] {
+    return std::make_unique<CellChangeRecorder>(victim);
+  });
+  peer.setProtocol(std::make_unique<CellChangeRecorder>(peer));
+  net.start(1.0);
+
+  mac::CsmaMac& mac = victim.mac();
+  net::Packet frame;
+  frame.macSrc = 0;
+  frame.macDst = net::kBroadcastId;
+  frame.header = std::make_shared<StubHeader>();
+  mac.send(frame);
+  // Step until the frame is actually on the air (DIFS + backoff +
+  // broadcast jitter), then yank the power mid-transmission: powerDown
+  // cancels the radio's tx-end event, so onTxComplete never fires and
+  // only clearQueue() can drop the MAC's transmit latch.
+  while (victim.radio().state() != phy::RadioState::kTx) {
+    ASSERT_LT(net.simulator.now(), 2.0) << "transmission never started";
+    net.simulator.run(net.simulator.now() + 10e-6);
+  }
+  victim.crash();
+  net.simulator.run(net.simulator.now() + 1.0);
+  victim.restart();
+
+  // The rebooted MAC must be able to transmit again.
+  std::uint64_t sentBefore = mac.framesSent();
+  net::Packet again;
+  again.macSrc = 0;
+  again.macDst = net::kBroadcastId;
+  again.header = std::make_shared<StubHeader>();
+  mac.send(again);
+  net.simulator.run(net.simulator.now() + 1.0);
+  EXPECT_EQ(mac.framesSent(), sentBefore + 1);
+  EXPECT_EQ(mac.queueDepth(), 0u);
+}
+
 TEST(NodeCrash, RestartRequiresACrashAndAFactory) {
   test::TestNet net;
   net::Node& plain = net.addStatic(0, {20.0, 20.0});
@@ -202,6 +273,59 @@ TEST(FaultInjector, RejectsBogusScriptedCrashes) {
   EXPECT_THROW(
       fault::FaultInjector(net.simulator, net.network, restartBeforeCrash),
       std::invalid_argument);
+}
+
+TEST(GpsError, StaticOffsetFiresBelievedCrossingsBetweenTrueOnes) {
+  test::TestNet net;
+  // East at 10 m/s from x = 10: TRUE crossings at t = 9, 19, …
+  net::Node& host = net.addScripted(0, {{0.0, {10.0, 50.0}, {10.0, 0.0}}});
+  std::vector<std::pair<sim::Time, geo::GridCoord>> log;
+  host.setProtocol(std::make_unique<CellChangeRecorder>(host, &log));
+  net.start();
+
+  // Static +50 m easting error: believed x = 60 + 10t crosses the 100 m
+  // boundary at t = 4. The protocol must hear onCellChanged THEN — a
+  // tracker watching only ground-truth crossings would sit silent until
+  // t = 9.
+  host.setGpsError({50.0, 0.0});
+  net.simulator.run(8.0);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_NEAR(log[0].first, 4.0, 1e-3);
+  EXPECT_EQ(log[0].second, (geo::GridCoord{1, 0}));
+  EXPECT_EQ(host.cell(), (geo::GridCoord{1, 0}));
+
+  // At the TRUE crossing (t = 9) the believed x is 150 — mid-cell — so
+  // nothing may fire there; the next event is the believed crossing of
+  // the 200 m boundary at t = 14.
+  net.simulator.run(13.0);
+  EXPECT_EQ(log.size(), 1u);
+  net.simulator.run(15.0);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_NEAR(log[1].first, 14.0, 1e-3);
+}
+
+TEST(FaultInjector, ScriptedRestartDuringDowntimeReArmsPoissonCrashes) {
+  test::TestNet net;
+  net::Node& host = net.addStatic(0, {20.0, 20.0});
+  host.setProtocolFactory([&host] {
+    return std::make_unique<CellChangeRecorder>(host);
+  });
+
+  fault::FaultPlan plan;
+  // Scripted crash almost immediately, reboot at t = 50. Poisson crashes
+  // at 0.5 /s (mean 2 s) with no automatic downtime recovery: the first
+  // Poisson crash event all but surely lands inside the scripted
+  // [0.01, 50] downtime and must no-op WITHOUT ending the host's failure
+  // process. After the scripted reboot revives the host the process is
+  // re-armed, so a second (Poisson) crash follows.
+  plan.hosts.crashes.push_back({0, 0.01, 50.0});
+  plan.hosts.crashRatePerHostPerSecond = 0.5;
+  fault::FaultInjector injector(net.simulator, net.network, plan);
+  net.start();
+  net.simulator.run(300.0);
+
+  EXPECT_GE(injector.crashesInjected(), 2u);  // scripted + ≥1 Poisson
+  EXPECT_GE(injector.restartsInjected(), 1u);
 }
 
 TEST(FaultInjector, PagingFaultSwallowsPages) {

@@ -188,6 +188,57 @@ TEST(GridTracker, StopCancelsCallbacks) {
   EXPECT_EQ(crossings, 1);
 }
 
+TEST(GridTracker, PositionOffsetShiftsCrossingsToTheBelievedBoundary) {
+  sim::Simulator simulator;
+  geo::GridMap grid(100.0);
+  // East at 10 m/s from x=10: TRUE crossings at t=9, 19. With a +50 m
+  // offset the tracked (believed) x is 60 + 10t, so the crossings fire
+  // at t=4, 14 — between the true ones, not at them.
+  ScriptedMobility model({{0.0, {10.0, 50.0}, {10.0, 0.0}}});
+  geo::Vec2 offset{50.0, 0.0};
+  std::vector<sim::Time> when;
+  GridTracker tracker(
+      simulator, grid, model,
+      [&](const geo::GridCoord&, const geo::GridCoord&) {
+        when.push_back(simulator.now());
+      },
+      [&] { return offset; });
+  EXPECT_EQ(tracker.currentCell(), (geo::GridCoord{0, 0}));
+  simulator.run(15.0);
+  ASSERT_EQ(when.size(), 2u);
+  EXPECT_NEAR(when[0], 4.0, 1e-3);
+  EXPECT_NEAR(when[1], 14.0, 1e-3);
+  EXPECT_EQ(tracker.currentCell(), (geo::GridCoord{2, 0}));
+}
+
+TEST(GridTracker, RefreshReTestsTheCellAndReArmsOnOffsetChange) {
+  sim::Simulator simulator;
+  geo::GridMap grid(100.0);
+  ScriptedMobility model({{0.0, {10.0, 50.0}, {10.0, 0.0}}});
+  geo::Vec2 offset{0.0, 0.0};
+  std::vector<sim::Time> when;
+  GridTracker tracker(
+      simulator, grid, model,
+      [&](const geo::GridCoord&, const geo::GridCoord&) {
+        when.push_back(simulator.now());
+      },
+      [&] { return offset; });
+  simulator.run(2.0);  // believed x = 30: still the first cell
+  EXPECT_TRUE(when.empty());
+
+  offset = {75.0, 0.0};  // believed x jumps to 105: next cell, right now
+  tracker.refresh();
+  ASSERT_EQ(when.size(), 1u);
+  EXPECT_DOUBLE_EQ(when[0], 2.0);
+
+  // And the timer was re-aimed at the SHIFTED boundary: believed
+  // x = 85 + 10t crosses 200 m at t = 11.5, not at the t = 19 a
+  // zero-offset arming would predict.
+  simulator.run(13.0);
+  ASSERT_EQ(when.size(), 2u);
+  EXPECT_NEAR(when[1], 11.5, 1e-3);
+}
+
 TEST(GridTracker, TracksWaypointModelWithoutMisses) {
   // Against a random waypoint trace, every callback must be a real cell
   // change and consecutive callbacks must chain (to == next from).
