@@ -1,0 +1,88 @@
+// Determinism analysis: state digests for replay & tie-order checking.
+//
+// Every experimental claim in this reproduction rests on exact replay:
+// protocols are compared on byte-identical mobility/traffic traces, and
+// the fault layer promises that an inert FaultPlan leaves a run
+// bit-for-bit unchanged. A StateDigest makes that promise checkable at
+// runtime: it folds the observable simulation state — per-host position,
+// cell, battery, radio, MAC counters, protocol role, and route tables,
+// plus network-wide frame/page counters — into one FNV-1a value. Two
+// runs of the same ScenarioConfig must produce identical digest traces;
+// a run whose event-queue tie-break is perturbed (see
+// EventQueue::perturbTieBreak) must still land on the same *final*
+// digest, or some component depends on the execution order of
+// same-instant events — the simulator's analogue of a data race.
+//
+// harness::checkDeterminism (src/harness/determinism.hpp) drives both
+// comparisons over full scenarios.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace ecgrid::net {
+class Network;
+}
+
+namespace ecgrid::check {
+
+/// Incremental 64-bit FNV-1a. A tiny value type so audits and tests can
+/// fold arbitrary state without pulling in a hashing library.
+class Fnv1a {
+ public:
+  [[nodiscard]] std::uint64_t value() const { return hash_; }
+
+  void mixBytes(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash_ ^= bytes[i];
+      hash_ *= kPrime;
+    }
+  }
+
+  void mixU64(std::uint64_t v) { mixBytes(&v, sizeof(v)); }
+  void mixI64(std::int64_t v) { mixU64(static_cast<std::uint64_t>(v)); }
+  void mixBool(bool v) { mixU64(v ? 1 : 0); }
+
+  /// Doubles are mixed by bit pattern: the digest asks "bit-identical?",
+  /// not "approximately equal?".
+  void mixDouble(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    mixU64(bits);
+  }
+
+  void mixString(std::string_view s) {
+    mixU64(s.size());
+    mixBytes(s.data(), s.size());
+  }
+
+ private:
+  static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ull;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ull;
+
+  std::uint64_t hash_ = kOffsetBasis;
+};
+
+/// Digest of the whole network's observable state at one instant. Nodes
+/// are folded in population order (deterministic by construction); route
+/// tables are ordered maps, so their iteration order is value-determined.
+[[nodiscard]] std::uint64_t stateDigest(net::Network& network);
+
+/// One sampled point of a digest trace.
+struct DigestSample {
+  std::uint64_t eventsExecuted = 0;
+  sim::Time at = sim::kTimeZero;
+  std::uint64_t digest = 0;
+
+  bool operator==(const DigestSample&) const = default;
+};
+
+using DigestTrace = std::vector<DigestSample>;
+
+}  // namespace ecgrid::check

@@ -64,6 +64,12 @@ double Battery::remainingJ(sim::Time now) {
   return remainingJ_;
 }
 
+double Battery::peekRemainingJ(sim::Time now) const {
+  if (infinite_ || now <= lastUpdate_) return remainingJ_;
+  double left = remainingJ_ - powerW_ * (now - lastUpdate_);
+  return left < 0.0 ? 0.0 : left;
+}
+
 double Battery::consumedJ(sim::Time now) {
   advanceTo(now);
   return consumedJ_;

@@ -39,11 +39,18 @@ class Battery {
   /// reports kUpper; draw accounting still records consumed energy.
   static Battery infinite();
 
-  bool isInfinite() const { return infinite_; }
-  double capacityJ() const { return capacityJ_; }
+  [[nodiscard]] bool isInfinite() const { return infinite_; }
+  [[nodiscard]] double capacityJ() const { return capacityJ_; }
 
   /// Remaining energy after integrating up to `now`.
-  double remainingJ(sim::Time now);
+  [[nodiscard]] double remainingJ(sim::Time now);
+
+  /// Pure observer: remaining energy at `now` WITHOUT committing the
+  /// integration point. Committed reads chunk the integral at read
+  /// times, so the rounded sum depends on when anyone looked; state
+  /// digests use this peek so observation can never leave a
+  /// floating-point trace in the simulation.
+  [[nodiscard]] double peekRemainingJ(sim::Time now) const;
 
   /// Total energy consumed so far (meaningful for infinite batteries too).
   double consumedJ(sim::Time now);
@@ -70,14 +77,14 @@ class Battery {
   /// must catch. No-op for infinite batteries.
   void injectJ(double joules, sim::Time now);
 
-  double currentPowerW() const { return powerW_; }
+  [[nodiscard]] double currentPowerW() const { return powerW_; }
 
   /// Time from `now` until the battery empties at the current draw;
   /// +infinity for infinite batteries or zero draw.
   double timeToEmpty(sim::Time now);
 
   /// Moment the host died (battery hit zero), or kTimeNever.
-  sim::Time deathTime() const { return deathTime_; }
+  [[nodiscard]] sim::Time deathTime() const { return deathTime_; }
 
  private:
   Battery(double capacityJ, bool infinite);

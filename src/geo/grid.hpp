@@ -30,13 +30,13 @@ struct GridCoord {
   }
 
   /// Chebyshev distance — two cells are neighbours iff this is <= 1.
-  constexpr std::int32_t chebyshevTo(const GridCoord& o) const {
+  [[nodiscard]] constexpr std::int32_t chebyshevTo(const GridCoord& o) const {
     std::int32_t dx = x > o.x ? x - o.x : o.x - x;
     std::int32_t dy = y > o.y ? y - o.y : o.y - y;
     return dx > dy ? dx : dy;
   }
 
-  constexpr bool isNeighbourOf(const GridCoord& o) const {
+  [[nodiscard]] constexpr bool isNeighbourOf(const GridCoord& o) const {
     return *this != o && chebyshevTo(o) <= 1;
   }
 };
@@ -47,7 +47,7 @@ inline std::ostream& operator<<(std::ostream& os, const GridCoord& g) {
 
 /// Maximum cell side d such that a centre gateway reaches all points of the
 /// eight neighbouring cells with radio range r: d = √2·r/3 (paper §2).
-double maxCellSideForRange(double radioRange);
+[[nodiscard]] double maxCellSideForRange(double radioRange);
 
 /// Maps between continuous positions and grid cells.
 class GridMap {
@@ -55,26 +55,27 @@ class GridMap {
   /// cellSide: d in metres, must be > 0.
   explicit GridMap(double cellSide);
 
-  double cellSide() const { return cellSide_; }
+  [[nodiscard]] double cellSide() const { return cellSide_; }
 
   /// Cell containing `position`. Points exactly on a boundary belong to
   /// the cell on the upper/right side (floor semantics).
-  GridCoord cellOf(const Vec2& position) const;
+  [[nodiscard]] GridCoord cellOf(const Vec2& position) const;
 
   /// Geometric centre of `cell`.
-  Vec2 centerOf(const GridCoord& cell) const;
+  [[nodiscard]] Vec2 centerOf(const GridCoord& cell) const;
 
   /// Lower-left corner of `cell`.
-  Vec2 originOf(const GridCoord& cell) const;
+  [[nodiscard]] Vec2 originOf(const GridCoord& cell) const;
 
   /// Distance from `position` to the centre of its own cell.
-  double distanceToOwnCenter(const Vec2& position) const;
+  [[nodiscard]] double distanceToOwnCenter(const Vec2& position) const;
 
   /// Time until a point moving from `position` with constant `velocity`
   /// exits the cell it is currently in. Returns +infinity when velocity is
   /// zero (the point never leaves). Used for the sleepers' dwell timers
   /// (paper §3.2).
-  double timeToExitCell(const Vec2& position, const Vec2& velocity) const;
+  [[nodiscard]] double timeToExitCell(const Vec2& position,
+                                      const Vec2& velocity) const;
 
  private:
   double cellSide_;

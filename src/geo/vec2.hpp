@@ -22,17 +22,21 @@ struct Vec2 {
 
   constexpr bool operator==(const Vec2& o) const = default;
 
-  constexpr double dot(const Vec2& o) const { return x * o.x + y * o.y; }
-  constexpr double lengthSquared() const { return x * x + y * y; }
-  double length() const { return std::sqrt(lengthSquared()); }
+  [[nodiscard]] constexpr double dot(const Vec2& o) const {
+    return x * o.x + y * o.y;
+  }
+  [[nodiscard]] constexpr double lengthSquared() const { return x * x + y * y; }
+  [[nodiscard]] double length() const { return std::sqrt(lengthSquared()); }
 
-  double distanceTo(const Vec2& o) const { return (*this - o).length(); }
-  constexpr double distanceSquaredTo(const Vec2& o) const {
+  [[nodiscard]] double distanceTo(const Vec2& o) const {
+    return (*this - o).length();
+  }
+  [[nodiscard]] constexpr double distanceSquaredTo(const Vec2& o) const {
     return (*this - o).lengthSquared();
   }
 
   /// Unit vector in this direction; the zero vector maps to zero.
-  Vec2 normalized() const {
+  [[nodiscard]] Vec2 normalized() const {
     double len = length();
     return len > 0.0 ? Vec2{x / len, y / len} : Vec2{};
   }

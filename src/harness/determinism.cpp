@@ -1,0 +1,68 @@
+#include "harness/determinism.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ecgrid::harness {
+
+namespace {
+
+std::string describeTraceDivergence(const check::DigestTrace& a,
+                                    const check::DigestTrace& b) {
+  if (a.size() != b.size()) {
+    std::ostringstream out;
+    out << "replay trace length mismatch: " << a.size() << " vs " << b.size()
+        << " samples";
+    return out.str();
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) continue;
+    std::ostringstream out;
+    out << "replay digest mismatch at sample " << i << " (event "
+        << a[i].eventsExecuted << ", t=" << a[i].at << "): " << std::hex
+        << a[i].digest << " vs " << b[i].digest;
+    return out.str();
+  }
+  return {};
+}
+
+}  // namespace
+
+DeterminismReport checkDeterminism(ScenarioConfig config) {
+  if (config.perturbTieBreak) {
+    throw std::invalid_argument(
+        "checkDeterminism: perturbTieBreak is owned by the harness; "
+        "leave it false in the input config");
+  }
+  if (config.digestEveryEvents == 0) config.digestEveryEvents = 2000;
+
+  const ScenarioResult reference = runScenario(config);
+  const ScenarioResult replay = runScenario(config);
+
+  ScenarioConfig perturbed = config;
+  perturbed.perturbTieBreak = true;
+  const ScenarioResult shuffled = runScenario(perturbed);
+
+  DeterminismReport report;
+  report.samplesCompared = reference.digestTrace.size();
+  report.divergence =
+      describeTraceDivergence(reference.digestTrace, replay.digestTrace);
+  report.replayIdentical = report.divergence.empty();
+
+  // The closing sample always exists (digestEveryEvents > 0).
+  report.finalDigest = reference.digestTrace.back().digest;
+  report.perturbedFinalDigest = shuffled.digestTrace.back().digest;
+  report.tieOrderStable = report.finalDigest == report.perturbedFinalDigest;
+  if (report.replayIdentical && !report.tieOrderStable) {
+    std::ostringstream out;
+    out << "tie-order divergence: final digest " << std::hex
+        << report.finalDigest << " != perturbed " << std::hex
+        << report.perturbedFinalDigest
+        << " — some component depends on the execution order of "
+           "same-instant events";
+    report.divergence = out.str();
+  }
+  return report;
+}
+
+}  // namespace ecgrid::harness

@@ -1,0 +1,50 @@
+// Replay & tie-order determinism harness.
+//
+// checkDeterminism() subjects one ScenarioConfig to the two determinism
+// properties the experiment pipeline depends on:
+//
+//   1. Replay: running the config twice yields identical state-digest
+//      traces (sampled every digestEveryEvents executed events) — the
+//      seed-stream discipline holds end to end.
+//   2. Tie-order stability: re-running with the event queue's tie-break
+//      among equal-time events randomised (EventQueue::perturbTieBreak)
+//      yields the same *final* digest. Intermediate samples are allowed
+//      to differ — a sample may land between two legally reordered
+//      same-instant events — but once every event up to the horizon has
+//      executed, order-independent logic must converge to the same
+//      state. Divergence here is the simulator's data-race analogue:
+//      some component's result depends on which of two simultaneous
+//      events ran first.
+//
+// Cost: three full scenario runs per call. Size configs accordingly
+// (tests horizon-cap them like the CI bench smokes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "harness/scenario.hpp"
+
+namespace ecgrid::harness {
+
+struct DeterminismReport {
+  bool replayIdentical = false;   ///< property 1: trace equality
+  bool tieOrderStable = false;    ///< property 2: final-digest equality
+  std::size_t samplesCompared = 0;
+  std::uint64_t finalDigest = 0;           ///< reference run
+  std::uint64_t perturbedFinalDigest = 0;  ///< tie-perturbed run
+  /// Human-readable description of the first divergence, empty if none.
+  std::string divergence;
+
+  [[nodiscard]] bool passed() const {
+    return replayIdentical && tieOrderStable;
+  }
+};
+
+/// Run `config` three times (reference, replay, tie-perturbed) and
+/// compare digests. `config.digestEveryEvents` is defaulted to 2000 when
+/// unset; `config.perturbTieBreak` must be false (the harness owns that
+/// knob — it throws std::invalid_argument otherwise).
+[[nodiscard]] DeterminismReport checkDeterminism(ScenarioConfig config);
+
+}  // namespace ecgrid::harness

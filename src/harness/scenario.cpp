@@ -1,7 +1,10 @@
 #include "harness/scenario.hpp"
 
 #include <memory>
+#include <numeric>
 #include <optional>
+
+#include "check/determinism.hpp"
 
 #include "check/network_audits.hpp"
 #include "fault/fault_injector.hpp"
@@ -81,7 +84,9 @@ std::unique_ptr<net::RoutingProtocol> makeProtocol(
           node, protocols::FloodingConfig{});
     }
   }
-  ECGRID_CHECK(false, "unknown protocol kind");
+  // Direct call rather than ECGRID_CHECK(false, ...): the macro's branch
+  // hides the [[noreturn]] from -Wreturn-type at -O0 (coverage builds).
+  util::throwCheck("unreachable", __FILE__, __LINE__, "unknown protocol kind");
 }
 
 }  // namespace
@@ -91,6 +96,9 @@ ScenarioResult runScenario(const ScenarioConfig& config) {
   ECGRID_REQUIRE(config.duration > 0.0, "duration must be positive");
 
   sim::Simulator simulator(config.seed);
+  // Before anything is scheduled, so every event of the run gets a
+  // perturbed tie-break key (determinism analysis; see scenario.hpp).
+  if (config.perturbTieBreak) simulator.perturbTieBreaks();
 
   net::NetworkConfig netConfig;
   netConfig.gridCellSide = config.gridCellSide;
@@ -168,8 +176,27 @@ ScenarioResult runScenario(const ScenarioConfig& config) {
       auditOptions.gatewayConflictRangeMeters = config.radioRange;
     }
     check::installStandardAudits(auditor, network, auditOptions);
-    simulator.setPeriodicHook(config.auditPeriodEvents,
-                              [&] { auditor.run(simulator.now()); });
+  }
+
+  // The Simulator has a single periodic hook; the auditor and the digest
+  // recorder share it at the gcd of their periods (std::gcd(0, n) == n,
+  // so a lone subscriber keeps its exact cadence).
+  check::DigestTrace digestTrace;
+  const std::uint64_t auditEvery =
+      config.auditInvariants ? config.auditPeriodEvents : 0;
+  const std::uint64_t digestEvery = config.digestEveryEvents;
+  if (auditEvery > 0 || digestEvery > 0) {
+    simulator.setPeriodicHook(
+        std::gcd(auditEvery, digestEvery), [&, auditEvery, digestEvery] {
+          const std::uint64_t n = simulator.eventsExecuted();
+          if (auditEvery > 0 && n % auditEvery == 0) {
+            auditor.run(simulator.now());
+          }
+          if (digestEvery > 0 && n % digestEvery == 0) {
+            digestTrace.push_back(
+                {n, simulator.now(), check::stateDigest(network)});
+          }
+        });
   }
 
   network.start();
@@ -177,6 +204,14 @@ ScenarioResult runScenario(const ScenarioConfig& config) {
   recorder.sample();  // closing sample at the horizon
   if (config.auditInvariants) {
     auditor.run(simulator.now());  // closing sweep at the horizon
+  }
+  if (digestEvery > 0) {
+    // Closing sample: the final digest, regardless of where the event
+    // count stood when the queue drained.
+    digestTrace.push_back({simulator.eventsExecuted(), simulator.now(),
+                           check::stateDigest(network)});
+  }
+  if (auditEvery > 0 || digestEvery > 0) {
     simulator.setPeriodicHook(0, nullptr);
   }
 
@@ -204,6 +239,7 @@ ScenarioResult runScenario(const ScenarioConfig& config) {
   }
   result.eventsExecuted = simulator.eventsExecuted();
   result.auditRuns = auditor.runs();
+  result.digestTrace = std::move(digestTrace);
 
   for (auto& nodePtr : network.nodes()) {
     result.macFramesSent += nodePtr->mac().framesSent();

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "check/determinism.hpp"
 #include "core/ecgrid_protocol.hpp"
 #include "fault/fault_plan.hpp"
 #include "net/network.hpp"
@@ -90,6 +91,20 @@ struct ScenarioConfig {
   /// when false every discovery floods globally.
   bool useLocationOracle = true;
 
+  /// Determinism analysis (src/check): when nonzero, sample a
+  /// check::stateDigest every this many executed events (sharing the
+  /// Simulator periodic hook with the invariant auditor) and return the
+  /// trace in ScenarioResult::digestTrace. Two runs of the same config
+  /// must produce identical traces; checkDeterminism() relies on it.
+  std::uint64_t digestEveryEvents = 0;
+
+  /// Debug mode: randomise the event queue's tie-break among equal-time
+  /// events (EventQueue::perturbTieBreak, "check/tiebreak" stream). The
+  /// run stays deterministic in `seed` but executes same-instant events
+  /// in a different order — the final state digest must not care. Never
+  /// enable for runs whose figures you intend to keep.
+  bool perturbTieBreak = false;
+
   /// Adverse conditions (src/fault): channel error model, host
   /// crash/restart schedule, GPS error, RAS paging loss. The default
   /// (empty) plan arms nothing and the run is byte-identical to a
@@ -126,6 +141,11 @@ struct ScenarioResult {
 
   std::uint64_t eventsExecuted = 0;
   std::uint64_t auditRuns = 0;  ///< invariant-audit sweeps completed
+
+  /// Sampled state digests (empty unless config.digestEveryEvents > 0).
+  /// The last sample is always taken at the horizon after the closing
+  /// energy sample, so `digestTrace.back().digest` is the final digest.
+  check::DigestTrace digestTrace;
   std::uint64_t macFramesSent = 0;      ///< frames handed off successfully
   std::uint64_t macFramesDropped = 0;   ///< MAC-level drops (all causes)
   std::uint64_t macRetransmissions = 0; ///< ARQ retransmissions

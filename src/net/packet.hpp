@@ -24,7 +24,9 @@ using NodeId = std::int32_t;
 /// Link-layer broadcast address.
 inline constexpr NodeId kBroadcastId = -1;
 
-inline constexpr bool isBroadcast(NodeId id) { return id == kBroadcastId; }
+[[nodiscard]] inline constexpr bool isBroadcast(NodeId id) {
+  return id == kBroadcastId;
+}
 
 /// 802.11-style MAC framing overhead added to every header's bytes().
 inline constexpr int kMacOverheadBytes = 34;
@@ -37,13 +39,13 @@ class Header {
 
   /// Wire size of this header plus any payload it carries, in bytes,
   /// excluding MAC framing.
-  virtual int bytes() const = 0;
+  [[nodiscard]] virtual int bytes() const = 0;
 
   /// Short name for logs ("HELLO", "RREQ", ...).
-  virtual const char* name() const = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
 
   /// One-line human-readable rendering for trace logs.
-  virtual std::string describe() const { return name(); }
+  [[nodiscard]] virtual std::string describe() const { return name(); }
 };
 
 struct Packet {
@@ -64,7 +66,7 @@ struct Packet {
   /// link-layer delivery failure; bounds repair loops.
   int routeRetries = 0;
 
-  int bytes() const { return kMacOverheadBytes + header->bytes(); }
+  [[nodiscard]] int bytes() const { return kMacOverheadBytes + header->bytes(); }
 
   /// Typed view of the header; nullptr when it is some other type.
   template <typename H>

@@ -41,7 +41,8 @@ class RoutingTable {
               sim::Time now);
 
   /// Valid (unexpired) entry for `destination`, if any.
-  std::optional<RouteEntry> lookup(net::NodeId destination, sim::Time now);
+  [[nodiscard]] std::optional<RouteEntry> lookup(net::NodeId destination,
+                                                 sim::Time now);
 
   /// Extends the expiry of an entry that was just used for forwarding.
   void refresh(net::NodeId destination, sim::Time now);

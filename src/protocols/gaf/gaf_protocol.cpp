@@ -116,6 +116,7 @@ double GafProtocol::myRank() { return env_.batteryRatio(); }
 void GafProtocol::enterDiscovery() {
   if (state_ == State::kDead) return;
   state_ = State::kDiscovery;
+  discoveryStartedAt_ = env_.simulator().now();
   env_.wakeRadio();
   beacon();
   stateTimer_.cancel();
@@ -386,6 +387,14 @@ void GafProtocol::onCellChanged(const geo::GridCoord& from,
   // Whatever we were doing belonged to the old grid; rejoin as a
   // discoverer in the new one.
   if (state_ == State::kActive) engine_.stopRouting();
+  if (state_ == State::kDiscovery &&
+      discoveryStartedAt_ == env_.simulator().now()) {
+    // The active-handover timer (Ta bounded by the dwell estimate) fires
+    // at this same instant and already re-entered discovery; restarting
+    // it here would beacon twice and draw a second discovery window,
+    // making the outcome depend on same-instant event order.
+    return;
+  }
   stateTimer_.cancel();
   enterDiscovery();
 }

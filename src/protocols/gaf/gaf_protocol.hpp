@@ -129,6 +129,12 @@ class GafProtocol final : public net::RoutingProtocol {
 
   State state_ = State::kDiscovery;
   sim::Time activeUntil_ = sim::kTimeZero;
+  /// Instant discovery was last (re-)entered. Ta is bounded by the GPS
+  /// dwell estimate, so the active-handover timer and the grid tracker's
+  /// cell-crossing event land at the same instant; this timestamp lets
+  /// onCellChanged recognise that the co-scheduled timer already ran the
+  /// handover, making the pair commute under either execution order.
+  sim::Time discoveryStartedAt_ = -1.0;
   std::map<net::NodeId, Sighting> sightings_;  ///< all grids, pruned lazily
   std::deque<std::shared_ptr<const net::Header>> appPending_;
 

@@ -36,7 +36,9 @@ EventHandle EventQueue::push(Time time, std::function<void()> action) {
   slot.live = true;
   slot.cancelled = false;
   slot.action = std::move(action);
-  heap_.push_back(HeapEntry{time, nextSequence_++, index});
+  const std::uint64_t sequence = nextSequence_++;
+  const std::uint64_t tieKey = tieBreakRng_ ? tieBreakRng_->raw() : sequence;
+  heap_.push_back(HeapEntry{time, tieKey, sequence, index});
   siftUp(heap_.size() - 1);
   return EventHandle(this, index, slot.generation);
 }

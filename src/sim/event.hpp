@@ -21,8 +21,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
+#include "sim/rng.hpp"
 #include "sim/time.hpp"
 
 namespace ecgrid::sim {
@@ -42,7 +44,7 @@ class EventHandle {
   void cancel();
 
   /// True if the event is still scheduled to fire (or firing right now).
-  bool pending() const;
+  [[nodiscard]] bool pending() const;
 
  private:
   friend class EventQueue;
@@ -64,6 +66,17 @@ class EventQueue {
   EventQueue& operator=(const EventQueue&) = delete;
 
   EventHandle push(Time time, std::function<void()> action);
+
+  /// Determinism-analysis debug mode (src/check): replace the insertion-
+  /// sequence tie-break among equal-time events with random keys drawn
+  /// from `stream` (sequence stays the final tie-break, so a perturbed
+  /// run is itself exactly reproducible). Affects only events pushed
+  /// after the call. Correct protocol logic must not care which of two
+  /// same-instant events runs first; a digest that diverges under this
+  /// mode marks order-dependent logic — the simulator's data-race
+  /// analogue. Never enable in runs whose numbers you intend to keep.
+  void perturbTieBreak(RngStream stream) { tieBreakRng_ = stream; }
+  bool tieBreakPerturbed() const { return tieBreakRng_.has_value(); }
 
   /// Discards cancelled records, then moves the next live event's time and
   /// action into the out-parameters and removes it. Returns false when the
@@ -94,12 +107,16 @@ class EventQueue {
 
   struct HeapEntry {
     Time time = kTimeZero;
+    /// Tie-break among equal times: == sequence normally, a random draw
+    /// under perturbTieBreak() (see above).
+    std::uint64_t tieKey = 0;
     std::uint64_t sequence = 0;
     std::uint32_t slot = 0;
   };
 
   static bool earlier(const HeapEntry& a, const HeapEntry& b) {
     if (a.time != b.time) return a.time < b.time;
+    if (a.tieKey != b.tieKey) return a.tieKey < b.tieKey;
     return a.sequence < b.sequence;
   }
 
@@ -116,6 +133,7 @@ class EventQueue {
 
   std::vector<Slot> slots_;
   std::vector<HeapEntry> heap_;
+  std::optional<RngStream> tieBreakRng_;
   std::uint32_t freeHead_ = kNoSlot;
   std::uint32_t executing_ = kNoSlot;  ///< slot recycled on next pop
   std::uint64_t nextSequence_ = 0;

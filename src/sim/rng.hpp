@@ -20,22 +20,25 @@ class RngStream {
  public:
   explicit RngStream(std::uint64_t seed) : engine_(seed) {}
 
+  // Every draw advances the stream, so a discarded result silently
+  // shifts all later draws — [[nodiscard]] turns that into a warning.
+
   /// Uniform real in [lo, hi).
-  double uniform(double lo, double hi);
+  [[nodiscard]] double uniform(double lo, double hi);
 
   /// Uniform integer in [lo, hi] (inclusive).
-  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+  [[nodiscard]] std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
 
   /// Exponentially distributed with the given mean (> 0).
-  double exponential(double mean);
+  [[nodiscard]] double exponential(double mean);
 
   /// Normally distributed with the given mean and stddev (>= 0).
-  double gaussian(double mean, double stddev);
+  [[nodiscard]] double gaussian(double mean, double stddev);
 
   /// Bernoulli trial.
-  bool chance(double probability);
+  [[nodiscard]] bool chance(double probability);
 
-  std::uint64_t raw() { return engine_(); }
+  [[nodiscard]] std::uint64_t raw() { return engine_(); }
 
  private:
   std::mt19937_64 engine_;
@@ -47,12 +50,12 @@ class RngFactory {
  public:
   explicit RngFactory(std::uint64_t masterSeed) : masterSeed_(masterSeed) {}
 
-  RngStream stream(const std::string& name) const;
+  [[nodiscard]] RngStream stream(const std::string& name) const;
 
   /// Convenience for per-node streams: stream("mac/17") etc.
-  RngStream stream(const std::string& component, int index) const;
+  [[nodiscard]] RngStream stream(const std::string& component, int index) const;
 
-  std::uint64_t masterSeed() const { return masterSeed_; }
+  [[nodiscard]] std::uint64_t masterSeed() const { return masterSeed_; }
 
  private:
   std::uint64_t masterSeed_;

@@ -49,6 +49,18 @@ class Simulator {
   /// Time of the next live event, or kTimeNever when the queue is empty.
   Time nextEventTime() { return queue_.peekTime(); }
 
+  /// Determinism-analysis debug mode: randomise the tie-break among
+  /// equal-time events using the dedicated "check/tiebreak" stream (see
+  /// EventQueue::perturbTieBreak). Call before scheduling anything so
+  /// every event of the run participates. The perturbed run is itself
+  /// deterministic in the master seed; it is *different* from the
+  /// unperturbed run exactly when some component depends on the order
+  /// of same-instant events.
+  void perturbTieBreaks() {
+    queue_.perturbTieBreak(rngFactory_.stream("check/tiebreak"));
+  }
+  bool tieBreaksPerturbed() const { return queue_.tieBreakPerturbed(); }
+
   /// Install `hook` to run after every `everyEvents`-th executed event
   /// (the invariant auditor hangs off this). The hook must not assume it
   /// runs at any particular simulation time; it may inspect state but

@@ -17,15 +17,18 @@ class Flags {
   /// Parses argv. `known` lists every accepted flag name (without "--").
   Flags(int argc, const char* const* argv, std::vector<std::string> known);
 
-  bool has(const std::string& name) const;
-  std::string getString(const std::string& name,
-                        const std::string& fallback) const;
-  double getDouble(const std::string& name, double fallback) const;
-  int getInt(const std::string& name, int fallback) const;
-  bool getBool(const std::string& name, bool fallback) const;
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string getString(const std::string& name,
+                                      const std::string& fallback) const;
+  [[nodiscard]] double getDouble(const std::string& name,
+                                 double fallback) const;
+  [[nodiscard]] int getInt(const std::string& name, int fallback) const;
+  [[nodiscard]] bool getBool(const std::string& name, bool fallback) const;
 
   /// Positional (non-flag) arguments in order of appearance.
-  const std::vector<std::string>& positional() const { return positional_; }
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
 
  private:
   std::map<std::string, std::string> values_;

@@ -1,0 +1,157 @@
+// Unit tests for the blind-flooding oracle protocol.
+#include "protocols/flooding/flooding_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_net.hpp"
+
+namespace ecgrid::test {
+namespace {
+
+protocols::FloodingProtocol& floodOf(TestNet& net, net::NodeId id) {
+  auto* proto = dynamic_cast<protocols::FloodingProtocol*>(
+      &net.network.findNode(id)->protocol());
+  EXPECT_NE(proto, nullptr);
+  return *proto;
+}
+
+void installFlood(net::Node& node, protocols::FloodingConfig config = {}) {
+  node.setProtocol(
+      std::make_unique<protocols::FloodingProtocol>(node, config));
+}
+
+struct Delivery {
+  int count = 0;
+  net::NodeId lastSrc = net::kBroadcastId;
+  int lastBytes = 0;
+};
+
+Delivery& watchDeliveries(TestNet& net, net::NodeId id) {
+  auto delivered = std::make_shared<Delivery>();
+  net.network.findNode(id)->setAppReceiveCallback(
+      [delivered](net::NodeId src, const net::DataTag&, int bytes) {
+        ++delivered->count;
+        delivered->lastSrc = src;
+        delivered->lastBytes = bytes;
+      });
+  // The callback owns the state; keep one reference alive via the node's
+  // lambda and hand the caller a stable alias.
+  return *delivered;
+}
+
+TEST(Flooding, DeliversAcrossMultiHopChain) {
+  // 1 --200m-- 2 --200m-- 3: the ends are out of direct radio range
+  // (250 m), so delivery proves the middle host rebroadcast.
+  TestNet net;
+  net.addStatic(1, {0.0, 50.0});
+  net.addStatic(2, {200.0, 50.0});
+  net.addStatic(3, {400.0, 50.0});
+  for (auto& node : net.network.nodes()) installFlood(*node);
+  Delivery& atDest = watchDeliveries(net, 3);
+  net.start(0.5);
+
+  net.network.findNode(1)->sendFromApp(3, 64, net::DataTag{7, 1, 0.5});
+  net.simulator.run(2.0);
+
+  EXPECT_EQ(atDest.count, 1);
+  EXPECT_EQ(atDest.lastSrc, 1);
+  EXPECT_EQ(atDest.lastBytes, 64);
+  EXPECT_GE(floodOf(net, 2).rebroadcasts(), 1u);
+}
+
+TEST(Flooding, SuppressesDuplicatesAndDoesNotForwardAtDestination) {
+  // Three mutually in-range hosts: the bystander hears the origin copy
+  // and must forward exactly once; the destination never forwards.
+  TestNet net;
+  net.addStatic(1, {0.0, 0.0});
+  net.addStatic(2, {50.0, 0.0});
+  net.addStatic(3, {0.0, 50.0});
+  for (auto& node : net.network.nodes()) installFlood(*node);
+  Delivery& atDest = watchDeliveries(net, 2);
+  net.start(0.5);
+
+  net.network.findNode(1)->sendFromApp(2, 32, net::DataTag{1, 1, 0.5});
+  net.simulator.run(2.0);
+
+  EXPECT_EQ(atDest.count, 1);
+  EXPECT_EQ(floodOf(net, 2).rebroadcasts(), 0u);
+  EXPECT_EQ(floodOf(net, 3).rebroadcasts(), 1u);
+}
+
+TEST(Flooding, TtlBoundsPropagation) {
+  // With ttl = 1 the origin's broadcast is the only transmission: the
+  // relay must drop it instead of forwarding, so the far host starves.
+  TestNet net;
+  protocols::FloodingConfig config;
+  config.ttl = 1;
+  net.addStatic(1, {0.0, 50.0});
+  net.addStatic(2, {200.0, 50.0});
+  net.addStatic(3, {400.0, 50.0});
+  for (auto& node : net.network.nodes()) installFlood(*node, config);
+  Delivery& atDest = watchDeliveries(net, 3);
+  net.start(0.5);
+
+  net.network.findNode(1)->sendFromApp(3, 64, net::DataTag{2, 1, 0.5});
+  net.simulator.run(2.0);
+
+  EXPECT_EQ(atDest.count, 0);
+  EXPECT_EQ(floodOf(net, 2).rebroadcasts(), 0u);
+}
+
+TEST(Flooding, SelfAddressedDataShortCircuitsTheRadio) {
+  TestNet net;
+  net.addStatic(1, {0.0, 0.0});
+  installFlood(*net.network.nodes().front());
+  Delivery& atSelf = watchDeliveries(net, 1);
+  net.start(0.1);
+
+  net.network.findNode(1)->sendFromApp(1, 16, net::DataTag{3, 1, 0.1});
+  net.simulator.run(0.5);
+
+  EXPECT_EQ(atSelf.count, 1);
+  EXPECT_EQ(atSelf.lastSrc, 1);
+  EXPECT_EQ(floodOf(net, 1).rebroadcasts(), 0u);
+}
+
+TEST(Flooding, ShutdownSilencesSendAndForward) {
+  TestNet net;
+  net.addStatic(1, {0.0, 0.0});
+  net.addStatic(2, {50.0, 0.0});
+  for (auto& node : net.network.nodes()) installFlood(*node);
+  Delivery& atDest = watchDeliveries(net, 2);
+  net.start(0.5);
+
+  floodOf(net, 1).onShutdown();
+  net.network.findNode(1)->sendFromApp(2, 32, net::DataTag{4, 1, 0.5});
+  net.simulator.run(2.0);
+
+  EXPECT_EQ(atDest.count, 0);
+}
+
+TEST(Flooding, IgnoresPagingAndCellEvents) {
+  // The oracle keeps every host awake, so paging and grid-crossing
+  // notifications must be inert no-ops.
+  TestNet net;
+  net.addStatic(1, {0.0, 0.0});
+  installFlood(*net.network.nodes().front());
+  net.start(0.1);
+  auto& proto = floodOf(net, 1);
+  proto.onPaged(net::PageSignal{});
+  proto.onCellChanged(geo::GridCoord{0, 0}, geo::GridCoord{1, 0});
+  EXPECT_STREQ(proto.name(), "FLOOD");
+  EXPECT_EQ(proto.rebroadcasts(), 0u);
+}
+
+TEST(Flooding, HeaderExposesFloodBookkeeping) {
+  protocols::DataHeader data(5, 9, 100, net::DataTag{11, 3, 1.0});
+  protocols::FloodHeader header(5, 42, 7, data);
+  EXPECT_EQ(header.origin(), 5);
+  EXPECT_EQ(header.floodSeq(), 42u);
+  EXPECT_EQ(header.ttl(), 7);
+  EXPECT_EQ(header.data().appDst(), 9);
+  EXPECT_EQ(header.bytes(), 12 + data.bytes());
+  EXPECT_STREQ(header.name(), "FLOOD");
+}
+
+}  // namespace
+}  // namespace ecgrid::test

@@ -1,0 +1,15 @@
+// ecgrid-lint-fixture: expect-clean
+// The same constructs as banned_random_fires.cpp, each carrying a
+// justified suppression — the allow() escape hatch must silence every
+// banned-random pattern, same-line or line-above.
+#include <chrono>
+#include <ctime>
+#include <random>
+
+int ad_hoc_randomness() {
+  // ecgrid-lint: allow(banned-random)
+  std::mt19937 engine(std::random_device{}());
+  auto wall = std::chrono::system_clock::now().count();  // ecgrid-lint: allow(banned-random)
+  auto unix_time = time(nullptr);  // ecgrid-lint: allow(banned-random)
+  return static_cast<int>(engine() + wall + unix_time);
+}

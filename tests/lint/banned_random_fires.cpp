@@ -1,0 +1,13 @@
+// ecgrid-lint-fixture: expect-violation(banned-random)
+// Raw engine construction and ambient clocks outside src/sim/rng.* must
+// be flagged: they bypass the named-stream discipline.
+#include <chrono>
+#include <ctime>
+#include <random>
+
+int ad_hoc_randomness() {
+  std::mt19937 engine(std::random_device{}());
+  auto wall = std::chrono::system_clock::now().time_since_epoch().count();
+  auto unix_time = time(nullptr);
+  return static_cast<int>(engine() + wall + unix_time);
+}

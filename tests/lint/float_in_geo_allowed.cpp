@@ -1,0 +1,13 @@
+// ecgrid-lint-fixture: expect-clean
+// Two ways float is acceptable: (1) a justified suppression inside the
+// scoped tree, (2) the same code outside src/geo|src/energy (this file's
+// real path) is out of scope — exercised by the companion fixture
+// float_outside_scope.cpp. Here we prove the suppression works.
+// ecgrid-lint-fixture-path: src/energy/fixture_example.hpp
+
+struct PackedSample {
+  // Wire-format struct mirrors external hardware; precision is bounded
+  // by the sensor, not by us.
+  // ecgrid-lint: allow(float-in-geo-energy)
+  float raw = 0.0f;  // ecgrid-lint: allow(float-in-geo-energy)
+};

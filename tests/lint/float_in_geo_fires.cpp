@@ -1,0 +1,13 @@
+// ecgrid-lint-fixture: expect-violation(float-in-geo-energy)
+// ecgrid-lint-fixture-path: src/geo/fixture_example.hpp
+// Single-precision in the geometry layer truncates grid arithmetic and
+// makes digests platform-dependent; the rule must fire when a file
+// lives under src/geo (impersonated here via the fixture-path
+// directive).
+
+struct Vec2f {
+  float x = 0.0f;
+  float y = 0.0f;
+};
+
+inline float manhattan(const Vec2f& v) { return v.x + v.y; }

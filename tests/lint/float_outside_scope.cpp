@@ -1,0 +1,8 @@
+// ecgrid-lint-fixture: expect-clean
+// float is only banned under src/geo and src/energy; this fixture keeps
+// its real tests/lint/ path, so the rule must NOT fire.
+
+struct RenderVertex {
+  float u = 0.0f;
+  float v = 0.0f;
+};

@@ -1,0 +1,13 @@
+// ecgrid-lint-fixture: expect-violation(rng-stream-literal)
+// Stream names built at runtime defeat the greppable stream census:
+// `grep -r 'stream("'` must enumerate every stream in the codebase.
+#include <string>
+
+struct RngFactory {
+  int stream(const std::string& name, int salt = 0);
+};
+
+int shuffled(RngFactory& factory, const std::string& protocol) {
+  std::string name = protocol + "/tiebreak";
+  return factory.stream(name, 7);
+}

@@ -1,0 +1,20 @@
+// ecgrid-lint-fixture: expect-clean
+// Same shape as unordered_iteration_fires.cpp but the iteration's effect
+// is provably order-independent (a sum), so the author suppressed it.
+#include <unordered_map>
+
+struct Sim {
+  template <typename F>
+  void schedule(double delay, F&& handler);
+};
+
+void flood(Sim& sim) {
+  std::unordered_map<int, double> neighbours;
+  double total = 0.0;
+  // Commutative fold; order cannot leak into the schedule below.
+  // ecgrid-lint: allow(unordered-iteration)
+  for (const auto& [id, delay] : neighbours) {
+    total += delay;
+  }
+  sim.schedule(total, [] {});
+}

@@ -1,0 +1,16 @@
+// ecgrid-lint-fixture: expect-violation(unordered-iteration)
+// A file that schedules events AND range-fors over an unordered
+// container: hash order would leak into event order.
+#include <unordered_map>
+
+struct Sim {
+  template <typename F>
+  void schedule(double delay, F&& handler);
+};
+
+void flood(Sim& sim) {
+  std::unordered_map<int, double> neighbours;
+  for (const auto& [id, delay] : neighbours) {
+    sim.schedule(delay, [] {});
+  }
+}

@@ -1,0 +1,92 @@
+// Unit tests for the leveled logger (src/util/log).
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ecgrid::util {
+namespace {
+
+// The level is process-global; every test restores kOff so the rest of
+// the suite stays silent.
+class LogTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Logger::setLevel(LogLevel::kOff); }
+};
+
+TEST_F(LogTest, ParseLevelAcceptsNamesAndDigits) {
+  EXPECT_EQ(Logger::parseLevel("error"), LogLevel::kError);
+  EXPECT_EQ(Logger::parseLevel("1"), LogLevel::kError);
+  EXPECT_EQ(Logger::parseLevel("warn"), LogLevel::kWarn);
+  EXPECT_EQ(Logger::parseLevel("2"), LogLevel::kWarn);
+  EXPECT_EQ(Logger::parseLevel("info"), LogLevel::kInfo);
+  EXPECT_EQ(Logger::parseLevel("3"), LogLevel::kInfo);
+  EXPECT_EQ(Logger::parseLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(Logger::parseLevel("4"), LogLevel::kDebug);
+  EXPECT_EQ(Logger::parseLevel("trace"), LogLevel::kTrace);
+  EXPECT_EQ(Logger::parseLevel("5"), LogLevel::kTrace);
+}
+
+TEST_F(LogTest, ParseLevelMapsUnknownToOff) {
+  EXPECT_EQ(Logger::parseLevel(""), LogLevel::kOff);
+  EXPECT_EQ(Logger::parseLevel("verbose"), LogLevel::kOff);
+  EXPECT_EQ(Logger::parseLevel("ERROR"), LogLevel::kOff);  // case-sensitive
+  EXPECT_EQ(Logger::parseLevel("0"), LogLevel::kOff);
+}
+
+TEST_F(LogTest, SetLevelRoundTripsAndGatesEnabled) {
+  Logger::setLevel(LogLevel::kWarn);
+  EXPECT_EQ(Logger::level(), LogLevel::kWarn);
+  EXPECT_TRUE(logEnabled(LogLevel::kError));
+  EXPECT_TRUE(logEnabled(LogLevel::kWarn));
+  EXPECT_FALSE(logEnabled(LogLevel::kInfo));
+  EXPECT_FALSE(logEnabled(LogLevel::kTrace));
+
+  Logger::setLevel(LogLevel::kOff);
+  EXPECT_FALSE(logEnabled(LogLevel::kError));
+}
+
+TEST_F(LogTest, WriteFormatsLevelTagAndMessage) {
+  ::testing::internal::CaptureStderr();
+  Logger::write(LogLevel::kError, "mac", "backoff exhausted");
+  Logger::write(LogLevel::kWarn, "phy", "w");
+  Logger::write(LogLevel::kInfo, "grid", "i");
+  Logger::write(LogLevel::kDebug, "gaf", "d");
+  Logger::write(LogLevel::kTrace, "sim", "t");
+  Logger::write(LogLevel::kOff, "none", "o");
+  std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[error] [mac] backoff exhausted\n"), std::string::npos);
+  EXPECT_NE(out.find("[warn] [phy] w\n"), std::string::npos);
+  EXPECT_NE(out.find("[info] [grid] i\n"), std::string::npos);
+  EXPECT_NE(out.find("[debug] [gaf] d\n"), std::string::npos);
+  EXPECT_NE(out.find("[trace] [sim] t\n"), std::string::npos);
+  EXPECT_NE(out.find("[off] [none] o\n"), std::string::npos);
+}
+
+TEST_F(LogTest, MacroSkipsMessageConstructionWhenDisabled) {
+  Logger::setLevel(LogLevel::kWarn);
+  int evaluations = 0;
+  auto count = [&evaluations]() {
+    ++evaluations;
+    return "built";
+  };
+  ::testing::internal::CaptureStderr();
+  ECGRID_LOG_DEBUG("test", count());  // below the level: expr must not run
+  ECGRID_LOG_WARN("test", count());   // at the level: expr runs, line emitted
+  std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_NE(out.find("[warn] [test] built"), std::string::npos);
+  EXPECT_EQ(out.find("[debug]"), std::string::npos);
+}
+
+TEST_F(LogTest, MacroStreamsMixedExpressions) {
+  Logger::setLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  ECGRID_LOG_INFO("node/7", "seq=" << 42 << " at " << 1.5 << "s");
+  std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[info] [node/7] seq=42 at 1.5s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ecgrid::util

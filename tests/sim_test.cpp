@@ -248,9 +248,12 @@ TEST(Rng, ExponentialHasRoughlyRightMean) {
 TEST(Rng, InvalidArgumentsThrow) {
   RngFactory factory(1);
   RngStream stream = factory.stream("t");
-  EXPECT_THROW(stream.uniform(2.0, 1.0), std::invalid_argument);
-  EXPECT_THROW(stream.exponential(0.0), std::invalid_argument);
-  EXPECT_THROW(stream.chance(1.5), std::invalid_argument);
+  // void-cast: the draws are [[nodiscard]] and these calls exist to throw.
+  EXPECT_THROW(static_cast<void>(stream.uniform(2.0, 1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(stream.exponential(0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(stream.chance(1.5)), std::invalid_argument);
 }
 
 // Property sweep: for many (seed, horizon) pairs, executing a batch of

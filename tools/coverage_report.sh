@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Build the coverage preset, run the test suite, and emit a line-coverage
+# summary for src/, enforcing a floor.
+#
+# Usage:
+#   tools/coverage_report.sh [build-dir]
+#
+#   build-dir  coverage build tree (default: build-coverage; configured
+#              with the `coverage` preset when missing)
+#
+# Environment:
+#   ECGRID_COVERAGE_MIN   line-coverage floor on src/ in percent
+#                         (default: 90; the suite currently measures ~95,
+#                         so the floor trips on real coverage regressions
+#                         without blocking routine churn)
+#   ECGRID_COVERAGE_OUT   where to write the summary (default:
+#                         <build-dir>/coverage-summary.txt)
+#   ECGRID_COVERAGE_SKIP_TESTS  set to reuse existing .gcda counters
+#                         instead of re-running ctest
+#
+# Prefers gcovr when installed (CI installs it); otherwise falls back to
+# tools/gcov_summary.py, a stdlib-only parser of `gcov --json-format`
+# output, so gcc-only containers still get the same summary and floor.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-coverage}"
+floor="${ECGRID_COVERAGE_MIN:-90}"
+out="${ECGRID_COVERAGE_OUT:-${build_dir}/coverage-summary.txt}"
+
+if [ ! -f "${build_dir}/CMakeCache.txt" ]; then
+  echo "coverage_report: configuring coverage preset…" >&2
+  cmake --preset coverage > /dev/null
+fi
+cmake --build "${build_dir}" -j "$(nproc)"
+
+if [ -z "${ECGRID_COVERAGE_SKIP_TESTS:-}" ]; then
+  # Stale counters from a previous run would inflate the numbers.
+  find "${build_dir}" -name '*.gcda' -delete
+  ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
+fi
+
+mkdir -p "$(dirname "${out}")"
+
+if command -v gcovr > /dev/null 2>&1; then
+  echo "coverage_report: using gcovr, floor ${floor}% on src/" >&2
+  gcovr --root "${repo_root}" \
+        --filter "${repo_root}/src/" \
+        --object-directory "${build_dir}" \
+        --print-summary \
+        --txt "${out}" \
+        --fail-under-line "${floor}"
+  cat "${out}"
+else
+  echo "coverage_report: gcovr not found; using gcov fallback" >&2
+  python3 "${repo_root}/tools/gcov_summary.py" \
+          --build-dir "${build_dir}" \
+          --root "${repo_root}" \
+          --filter src/ \
+          --fail-under-line "${floor}" \
+          --output "${out}"
+fi

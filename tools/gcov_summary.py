@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Stdlib-only gcov line-coverage summariser (gcovr fallback).
+
+Walks a coverage build tree for .gcno/.gcda pairs, runs
+`gcov --json-format --stdout` on them, aggregates executable/executed
+lines per source file under the requested filter, prints a per-file
+table plus a TOTAL row, and exits nonzero when total line coverage falls
+below the floor. Output format mirrors `gcovr --txt` closely enough for
+humans and CI logs; use real gcovr when available.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gzip
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+
+def gcov_json_reports(build_dir: Path) -> list[dict]:
+    """Run gcov over every .gcno with counters and parse its JSON."""
+    reports = []
+    gcno_files = sorted(build_dir.rglob("*.gcno"))
+    if not gcno_files:
+        sys.exit(f"gcov_summary: no .gcno files under {build_dir} "
+                 "(build with ECGRID_COVERAGE=ON)")
+    for gcno in gcno_files:
+        result = subprocess.run(
+            ["gcov", "--json-format", "--stdout", str(gcno)],
+            capture_output=True,
+            cwd=gcno.parent,
+            check=False,
+        )
+        if result.returncode != 0:
+            continue
+        # --stdout emits one JSON document per translation unit,
+        # newline-separated; some gcc versions gzip even on stdout.
+        payload = result.stdout
+        if payload[:2] == b"\x1f\x8b":
+            payload = gzip.decompress(payload)
+        for line in payload.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                reports.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return reports
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", type=Path, required=True)
+    parser.add_argument("--root", type=Path, required=True)
+    parser.add_argument("--filter", default="src/",
+                        help="repo-relative prefix to include")
+    parser.add_argument("--fail-under-line", type=float, default=0.0)
+    parser.add_argument("--output", type=Path, default=None)
+    args = parser.parse_args()
+
+    root = args.root.resolve()
+    # file -> [executable lines, executed lines]
+    per_file: dict[str, list[int]] = {}
+    # Distinct line numbers can be reported by several translation units
+    # (headers); count a line covered if ANY unit executed it.
+    line_hits: dict[str, dict[int, int]] = {}
+
+    for report in gcov_json_reports(args.build_dir):
+        for unit in report.get("files", []):
+            source = Path(unit.get("file", ""))
+            if not source.is_absolute():
+                source = (args.build_dir / source).resolve()
+            try:
+                rel = source.resolve().relative_to(root).as_posix()
+            except ValueError:
+                continue
+            if not rel.startswith(args.filter):
+                continue
+            hits = line_hits.setdefault(rel, {})
+            for line in unit.get("lines", []):
+                number = line.get("line_number")
+                count = line.get("count", 0)
+                if number is None:
+                    continue
+                hits[number] = max(hits.get(number, 0), count)
+
+    rows = []
+    total_lines = total_covered = 0
+    for rel in sorted(line_hits):
+        hits = line_hits[rel]
+        executable = len(hits)
+        covered = sum(1 for c in hits.values() if c > 0)
+        per_file[rel] = [executable, covered]
+        total_lines += executable
+        total_covered += covered
+        pct = 100.0 * covered / executable if executable else 100.0
+        rows.append(f"{rel:<52} {executable:>6} {covered:>6} {pct:>6.1f}%")
+
+    total_pct = 100.0 * total_covered / total_lines if total_lines else 0.0
+    header = f"{'File':<52} {'Lines':>6} {'Exec':>6} {'Cover':>7}"
+    divider = "-" * len(header)
+    summary = "\n".join(
+        [header, divider, *rows, divider,
+         f"{'TOTAL':<52} {total_lines:>6} {total_covered:>6} "
+         f"{total_pct:>6.1f}%"])
+    print(summary)
+    if args.output:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(summary + os.linesep)
+
+    if total_pct < args.fail_under_line:
+        print(f"gcov_summary: line coverage {total_pct:.1f}% is below the "
+              f"floor {args.fail_under_line:.1f}%", file=sys.stderr)
+        return 2
+    print(f"gcov_summary: line coverage {total_pct:.1f}% "
+          f"(floor {args.fail_under_line:.1f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,13 +10,17 @@
 #   path...    files or directories to lint (default: src/)
 #
 # Environment:
-#   CLANG_TIDY  clang-tidy binary to use (default: clang-tidy)
-#   TIDY_JOBS   parallel jobs (default: nproc)
+#   CLANG_TIDY          clang-tidy binary to use (default: clang-tidy)
+#   TIDY_JOBS           parallel jobs (default: nproc)
+#   ECGRID_TIDY_STRICT  when set, a missing clang-tidy binary is a hard
+#                       failure instead of a skip (CI sets this so the
+#                       lint gate can never silently vanish)
 #
 # Exits 0 when src/ is warning-clean (warnings are errors per the config),
 # nonzero otherwise. When clang-tidy is not installed the script reports
 # and exits 0 so environments without LLVM (e.g. gcc-only containers) can
-# still run the rest of the checks; CI installs clang-tidy explicitly.
+# still run the rest of the checks; CI installs clang-tidy explicitly and
+# exports ECGRID_TIDY_STRICT.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -29,6 +33,11 @@ fi
 
 tidy_bin="${CLANG_TIDY:-clang-tidy}"
 if ! command -v "${tidy_bin}" > /dev/null 2>&1; then
+  if [ -n "${ECGRID_TIDY_STRICT:-}" ]; then
+    echo "run_clang_tidy: '${tidy_bin}' not found and ECGRID_TIDY_STRICT" \
+         "is set — failing." >&2
+    exit 1
+  fi
   echo "run_clang_tidy: '${tidy_bin}' not found on PATH; skipping lint." >&2
   echo "run_clang_tidy: install clang-tidy (LLVM) to run this check." >&2
   exit 0
