@@ -27,6 +27,7 @@
 
 #include "harness/parallel_runner.hpp"
 #include "harness/scenario.hpp"
+#include "obs/metrics.hpp"
 #include "stats/timeseries.hpp"
 
 namespace ecgrid::bench {
@@ -139,7 +140,8 @@ inline void printHeaderTimes(const char* what,
 ///   "wall_seconds": s, "events_executed": N, "events_per_second": x,
 ///   "frames_transmitted": N, "frames_per_second": x,
 ///   "metrics": {"name": value, ...},
-///   "series": {"label": {"t": [...], "v": [...]}, ...}
+///   "series": {"label": {"t": [...], "v": [...]}, ...},
+///   "scenarios": {"label": {"metric": value, ...}, ...}
 /// }
 /// Values are plain doubles/integers; names are [A-Za-z0-9_.-] so no JSON
 /// escaping is needed. CI and the perf trajectory tooling diff these.
@@ -168,6 +170,15 @@ class BenchReport {
   }
   void addSeries(const std::vector<stats::TimeSeries>& series) {
     for (const stats::TimeSeries& s : series) series_.push_back(s);
+  }
+
+  /// One run's full MetricsRegistry snapshot (harness::ScenarioResult::
+  /// metrics), keyed by a scenario label. Counter/histogram values are
+  /// deterministic per (config, seed); profile.* wall-clock entries appear
+  /// only when that run enabled the simulator profiler.
+  void addScenarioMetrics(const std::string& label,
+                          const obs::MetricsSnapshot& snapshot) {
+    scenarios_.emplace_back(label, snapshot);
   }
 
   /// Write BENCH_<figure>.json and print its path. Call once, last.
@@ -212,7 +223,19 @@ class BenchReport {
       }
       std::fprintf(out, "]}");
     }
-    std::fprintf(out, "%s}\n}\n", series_.empty() ? "" : "\n  ");
+    std::fprintf(out, "%s},\n", series_.empty() ? "" : "\n  ");
+    std::fprintf(out, "  \"scenarios\": {");
+    for (std::size_t i = 0; i < scenarios_.size(); ++i) {
+      std::fprintf(out, "%s\n    \"%s\": {", i == 0 ? "" : ",",
+                   scenarios_[i].first.c_str());
+      std::size_t j = 0;
+      for (const auto& [name, value] : scenarios_[i].second) {
+        std::fprintf(out, "%s\n      \"%s\": %.17g", j++ == 0 ? "" : ",",
+                     name.c_str(), value);
+      }
+      std::fprintf(out, "%s}", scenarios_[i].second.empty() ? "" : "\n    ");
+    }
+    std::fprintf(out, "%s}\n}\n", scenarios_.empty() ? "" : "\n  ");
     std::fclose(out);
     std::printf("  [json] %s (%.2fs wall, %u job(s), %llu events)\n",
                 path.c_str(), wallSeconds, benchJobs(),
@@ -226,6 +249,7 @@ class BenchReport {
   std::uint64_t framesTransmitted_ = 0;
   std::vector<std::pair<std::string, double>> metrics_;
   std::vector<stats::TimeSeries> series_;
+  std::vector<std::pair<std::string, obs::MetricsSnapshot>> scenarios_;
 };
 
 }  // namespace ecgrid::bench

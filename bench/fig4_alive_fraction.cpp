@@ -54,6 +54,9 @@ int main() {
       bench::printSampled(harness::toString(protocol), result.aliveFraction,
                           sampleTimes);
       char label[64];
+      std::snprintf(label, sizeof label, "%s_speed%.0f",
+                    harness::toString(protocol), speed);
+      report.addScenarioMetrics(label, result.metrics);
       std::snprintf(label, sizeof label, "%s_alive_speed%.0f",
                     harness::toString(protocol), speed);
       stats::TimeSeries labelled(label);

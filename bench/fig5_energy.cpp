@@ -54,6 +54,9 @@ int main() {
                           sampleTimes);
       aenAt500[idx++] = result.aen.valueAt(500.0);
       char label[64];
+      std::snprintf(label, sizeof label, "%s_speed%.0f",
+                    harness::toString(protocol), speed);
+      report.addScenarioMetrics(label, result.metrics);
       std::snprintf(label, sizeof label, "%s_aen_speed%.0f",
                     harness::toString(protocol), speed);
       stats::TimeSeries labelled(label);

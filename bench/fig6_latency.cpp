@@ -62,22 +62,35 @@ int main() {
 
     std::vector<stats::TimeSeries> csv;
     for (ProtocolKind protocol : protocols) {
-      char label[64];
+      char label[80];
       std::snprintf(label, sizeof label, "%s_latency_ms_speed%.0f",
                     harness::toString(protocol), speed);
       stats::TimeSeries row(label);
+      std::snprintf(label, sizeof label, "%s_latency_p99_ms_speed%.0f",
+                    harness::toString(protocol), speed);
+      stats::TimeSeries p99Row(label);
       std::printf("  %-22s", harness::toString(protocol));
       for (double pause : pauseTimes) {
         double sumMs = 0.0;
+        double sumP99Ms = 0.0;
+        // Seed 0's full metrics snapshot (including the e2e.latency_s
+        // histogram) represents the scenario in the perf record.
+        std::snprintf(label, sizeof label, "%s_speed%.0f_pause%.0f",
+                      harness::toString(protocol), speed, pause);
+        report.addScenarioMetrics(label, results[run].metrics);
         for (int seed = 0; seed < seeds; ++seed) {
-          sumMs += 1e3 * results[run++].meanLatencySeconds;
+          sumMs += 1e3 * results[run].meanLatencySeconds;
+          sumP99Ms += 1e3 * results[run].p99LatencySeconds;
+          ++run;
         }
         double meanMs = sumMs / seeds;
         std::printf(" %6.1f", meanMs);
         row.add(pause, meanMs);
+        p99Row.add(pause, sumP99Ms / seeds);
       }
       std::printf("\n");
       csv.push_back(std::move(row));
+      csv.push_back(std::move(p99Row));
     }
     report.addSeries(csv);
     bench::writeSeries(

@@ -65,6 +65,10 @@ int main() {
       stats::TimeSeries row(label);
       std::printf("  %-22s", harness::toString(protocol));
       for (double pause : pauseTimes) {
+        char mlabel[80];
+        std::snprintf(mlabel, sizeof mlabel, "%s_speed%.0f_pause%.0f",
+                      harness::toString(protocol), speed, pause);
+        report.addScenarioMetrics(mlabel, results[run].metrics);
         double sum = 0.0;
         for (int seed = 0; seed < seeds; ++seed) {
           sum += 100.0 * results[run++].deliveryRate;

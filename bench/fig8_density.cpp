@@ -65,6 +65,7 @@ int main() {
         char csvLabel[64];
         std::snprintf(csvLabel, sizeof csvLabel, "%s_n%d_speed%.0f",
                       harness::toString(protocol), hosts, speed);
+        report.addScenarioMetrics(csvLabel, result.metrics);
         stats::TimeSeries labelled(csvLabel);
         for (auto [t, v] : result.aliveFraction.points()) labelled.add(t, v);
         csv.push_back(std::move(labelled));

@@ -89,6 +89,10 @@ int main() {
       std::snprintf(rowLabel, sizeof rowLabel, "crash rate %g", crashRate);
       std::printf("  %-22s", rowLabel);
       for (double loss : lossRates) {
+        char mlabel[80];
+        std::snprintf(mlabel, sizeof mlabel, "%s_crash%g_loss%g",
+                      harness::toString(protocol), crashRate, loss);
+        report.addScenarioMetrics(mlabel, results[run].metrics);
         double sum = 0.0;
         for (int seed = 0; seed < seeds; ++seed) {
           const harness::ScenarioResult& r = results[run++];

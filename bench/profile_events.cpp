@@ -1,0 +1,101 @@
+// Simulator profile — where the event loop spends its time, per protocol.
+//
+// Runs the paper's baseline scenario once per protocol with the simulator
+// profiler enabled (harness::ScenarioConfig::profileSimulator) and reports
+// per-event-label dispatch counts and wall-clock attribution, plus an
+// event-queue depth timeseries sampled every `profileQueueSampleEvents`
+// executed events. The profile.*.wall_s entries are wall-clock and thus
+// vary run to run; profile.*.count entries and the queue-depth series are
+// deterministic per (config, seed) — the profiler observes the schedule,
+// it never perturbs it (the PR's determinism gate proves this).
+//
+// Output: BENCH_profile.json with one scenarios entry per protocol and
+// queue_depth_<protocol> series (x = sim time, y = queue size).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_support.hpp"
+
+int main() {
+  using namespace ecgrid;
+  using harness::ProtocolKind;
+
+  const std::vector<ProtocolKind> protocols = {
+      ProtocolKind::kGrid, ProtocolKind::kEcgrid, ProtocolKind::kGaf};
+  const double duration = bench::quickMode() ? 120.0 : 590.0;
+
+  std::printf("Simulator profile — event dispatch by label\n");
+  std::printf("(paper baseline, horizon %.0f s; wall-clock attribution is "
+              "indicative, counts are deterministic)\n",
+              duration);
+
+  bench::WallTimer timer;
+  bench::BenchReport report("profile");
+
+  std::vector<harness::ScenarioConfig> configs;
+  for (ProtocolKind protocol : protocols) {
+    harness::ScenarioConfig config = bench::paperBaseline();
+    config.protocol = protocol;
+    config.duration = duration;
+    config.profileSimulator = true;
+    config.profileQueueSampleEvents = 1024;
+    bench::applyHorizonCap(config);
+    configs.push_back(config);
+  }
+  std::vector<harness::ScenarioResult> results =
+      harness::runScenariosParallel(configs, bench::benchJobs());
+  report.addRuns(results);
+
+  std::size_t run = 0;
+  for (ProtocolKind protocol : protocols) {
+    const harness::ScenarioResult& result = results[run++];
+    std::printf("\n%s — %llu events, top labels by wall share:\n",
+                harness::toString(protocol),
+                static_cast<unsigned long long>(result.eventsExecuted));
+
+    // Rank labels by wall seconds from the metrics snapshot.
+    std::vector<std::pair<std::string, double>> byWall;
+    for (const auto& [name, value] : result.metrics) {
+      const std::string prefix = "profile.events.";
+      const std::string suffix = ".wall_s";
+      if (name.size() > prefix.size() + suffix.size() &&
+          name.compare(0, prefix.size(), prefix) == 0 &&
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+              0) {
+        byWall.emplace_back(
+            name.substr(prefix.size(),
+                        name.size() - prefix.size() - suffix.size()),
+            value);
+      }
+    }
+    std::sort(byWall.begin(), byWall.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    double totalWall = 0.0;
+    if (auto it = result.metrics.find("profile.wall_s_total");
+        it != result.metrics.end()) {
+      totalWall = it->second;
+    }
+    for (std::size_t i = 0; i < byWall.size() && i < 8; ++i) {
+      auto countIt =
+          result.metrics.find("profile.events." + byWall[i].first + ".count");
+      double count = countIt != result.metrics.end() ? countIt->second : 0.0;
+      std::printf("  %-24s %10.0f events  %8.3f s  %5.1f%%\n",
+                  byWall[i].first.c_str(), count, byWall[i].second,
+                  totalWall > 0.0 ? 100.0 * byWall[i].second / totalWall : 0.0);
+    }
+
+    report.addScenarioMetrics(harness::toString(protocol), result.metrics);
+
+    char label[64];
+    std::snprintf(label, sizeof label, "queue_depth_%s",
+                  harness::toString(protocol));
+    stats::TimeSeries depth(label);
+    for (auto [simTime, queueSize] : result.queueDepthSamples) {
+      depth.add(simTime, queueSize);
+    }
+    report.addSeries(depth);
+  }
+  report.write(timer.seconds());
+  return 0;
+}

@@ -2,22 +2,29 @@
 //
 //   $ ./quickstart [--protocol ECGRID|GRID|GAF|FLOOD] [--hosts N]
 //                  [--speed M/S] [--duration S] [--seed N]
+//                  [--trace-events PATH] [--profile] [--log SPEC]
 //
 // This is the smallest complete use of the library: configure a scenario,
-// run it, read the result.
+// run it, read the result. The observability flags:
+//   --trace-events=ev.jsonl  write protocol event spans (convert with
+//                            tools/trace_chrome.py, open in Perfetto)
+//   --profile                per-event-label dispatch counts + wall time
+//   --log=info,mac=debug     per-component log levels with sim-time stamps
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "harness/scenario.hpp"
 #include "util/flags.hpp"
+#include "util/log.hpp"
 
 int main(int argc, char** argv) {
   using namespace ecgrid;
 
   util::Flags flags(argc, argv,
                     {"protocol", "hosts", "speed", "duration", "seed",
-                     "flows", "pps", "latency-percentiles"});
+                     "flows", "pps", "latency-percentiles", "trace-events",
+                     "profile", "log"});
 
   harness::ScenarioConfig config;
   auto protocol =
@@ -33,6 +40,11 @@ int main(int argc, char** argv) {
   config.seed = static_cast<std::uint64_t>(flags.getInt("seed", 1));
   config.flowCount = flags.getInt("flows", 10);
   config.packetsPerSecondPerFlow = flags.getDouble("pps", 1.0);
+  config.eventTracePath = flags.getString("trace-events", "");
+  config.profileSimulator = flags.getBool("profile", false);
+  if (flags.has("log")) {
+    util::Logger::configure(flags.getString("log", "info"));
+  }
 
   std::printf("ECGRID quickstart — protocol=%s hosts=%d speed=%.1f m/s "
               "duration=%.0f s\n",
@@ -105,5 +117,36 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(result.routing.rerrsSent),
       static_cast<unsigned long long>(result.routing.discoveriesStarted),
       static_cast<unsigned long long>(result.routing.discoveriesFailed));
+  if (!config.eventTracePath.empty()) {
+    std::printf("  event trace          : %s (%llu events; convert with "
+                "tools/trace_chrome.py)\n",
+                config.eventTracePath.c_str(),
+                static_cast<unsigned long long>(result.traceEventsWritten));
+  }
+  if (config.profileSimulator) {
+    std::printf("  profile (top event labels by wall time):\n");
+    std::vector<std::pair<double, std::string>> byWall;
+    const std::string prefix = "profile.events.";
+    const std::string suffix = ".wall_s";
+    for (const auto& [name, value] : result.metrics) {
+      if (name.size() > prefix.size() + suffix.size() &&
+          name.compare(0, prefix.size(), prefix) == 0 &&
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+              0) {
+        byWall.emplace_back(
+            value, name.substr(prefix.size(),
+                               name.size() - prefix.size() - suffix.size()));
+      }
+    }
+    std::sort(byWall.rbegin(), byWall.rend());
+    for (std::size_t i = 0; i < byWall.size() && i < 6; ++i) {
+      auto countIt =
+          result.metrics.find(prefix + byWall[i].second + ".count");
+      std::printf("    %-22s %10.0f events %9.3f s\n",
+                  byWall[i].second.c_str(),
+                  countIt != result.metrics.end() ? countIt->second : 0.0,
+                  byWall[i].first);
+    }
+  }
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "core/ecgrid_protocol.hpp"
 
+#include "obs/observability.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -14,9 +15,22 @@ constexpr sim::Time kOptimisticWakeDelay = 2e-3;
 }  // namespace
 
 EcgridProtocol::EcgridProtocol(net::HostEnv& env, const EcgridConfig& config)
-    : GridProtocolBase(env, config.base), ecgridConfig_(config) {
+    : GridProtocolBase(env, config.base),
+      ecgridConfig_(config),
+      mSleeps_(obs::counter(env.simulator(), "ecgrid.sleeps")),
+      mWakes_(obs::counter(env.simulator(), "ecgrid.wakes")),
+      mAcqsSent_(obs::counter(env.simulator(), "ecgrid.acqs_sent")),
+      mWakeLatency_(obs::histogram(
+          env.simulator(), "paging.wake_latency_s",
+          {0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0})) {
   ECGRID_REQUIRE(config.base.election.useBatteryLevel,
                  "ECGRID requires battery-aware election rules");
+}
+
+std::uint64_t EcgridProtocol::wakeChainSpanId(net::NodeId dst) const {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(env_.id()))
+          << 32) |
+         static_cast<std::uint32_t>(dst);
 }
 
 void EcgridProtocol::onShutdown() {
@@ -40,8 +54,8 @@ void EcgridProtocol::maybeSleep() {
     // Frames still in the MAC (queued or mid-ARQ): sleeping now would
     // silently discard them. Check again shortly.
     sleepTimer_.cancel();
-    sleepTimer_ =
-        env_.simulator().schedule(0.05, [this] { maybeSleep(); });
+    sleepTimer_ = env_.simulator().schedule(0.05, [this] { maybeSleep(); },
+                                            "ecgrid/sleep_check");
     return;
   }
   sim::Time now = env_.simulator().now();
@@ -58,7 +72,8 @@ void EcgridProtocol::scheduleSleepCheck() {
   sim::Time now = env_.simulator().now();
   sim::Time wait = ecgridConfig_.idleBeforeSleep - (now - lastAppActivity_);
   if (wait < 0.01) wait = 0.01;
-  sleepTimer_ = env_.simulator().schedule(wait, [this] { maybeSleep(); });
+  sleepTimer_ = env_.simulator().schedule(wait, [this] { maybeSleep(); },
+                                          "ecgrid/sleep_check");
 }
 
 void EcgridProtocol::goToSleep() {
@@ -73,10 +88,17 @@ void EcgridProtocol::goToSleep() {
     unicastFrame(*currentGateway_, std::make_shared<protocols::SleepNoticeHeader>(
                                        env_.id(), env_.cell()));
   }
+  mSleeps_.add();
+  if (auto* tracer = obs::tracer(env_.simulator())) {
+    tracer->instant("ecgrid", "sleep", env_.id());
+  }
   setRole(Role::kSleeping);
-  env_.simulator().schedule(8e-3, [this] {
-    if (role() == Role::kSleeping) env_.sleepRadio();
-  });
+  env_.simulator().schedule(
+      8e-3,
+      [this] {
+        if (role() == Role::kSleeping) env_.sleepRadio();
+      },
+      "ecgrid/radio_down");
   // The GPS dwell timer (paper §3.2) is realised by the node's
   // GridTracker: onCellChanged() fires exactly when we cross out of the
   // grid, which is the event the paper's sleep timer polls for.
@@ -85,6 +107,10 @@ void EcgridProtocol::goToSleep() {
 void EcgridProtocol::wakeAsMember() {
   if (role() != Role::kSleeping) return;
   env_.wakeRadio();
+  mWakes_.add();
+  if (auto* tracer = obs::tracer(env_.simulator())) {
+    tracer->instant("ecgrid", "wake", env_.id());
+  }
   setRole(Role::kMember);
   // The gateway-staleness clock ran while we slept; a sleeping host does
   // not doubt its gateway until there is evidence (failed ACQ/unicast),
@@ -125,19 +151,25 @@ void EcgridProtocol::sendData(net::NodeId destination, int payloadBytes,
 }
 
 void EcgridProtocol::sendAcq(net::NodeId destination) {
+  mAcqsSent_.add();
+  if (auto* tracer = obs::tracer(env_.simulator())) {
+    tracer->instant("ras", "acq", env_.id(), {{"dst", destination}});
+  }
   auto acq =
       std::make_shared<AcqHeader>(env_.id(), env_.cell(), destination);
   broadcastFrameRaw(acq);
   acqTimer_.cancel();
   acqTimer_ = env_.simulator().schedule(
-      ecgridConfig_.acqResponseTimeout, [this] {
+      ecgridConfig_.acqResponseTimeout,
+      [this] {
         // Detector 2 (paper §3.2): a sleeping host woke to transmit but
         // the gateway never answered.
         if (role() == Role::kDead) return;
         if (currentGateway_.has_value() && !gatewayIsStale()) return;
         currentGateway_.reset();
         onNoGateway();
-      });
+      },
+      "ecgrid/acq_timeout");
 }
 
 void EcgridProtocol::onFrame(const net::Packet& packet) {
@@ -176,12 +208,20 @@ void EcgridProtocol::pageAndBuffer(net::NodeId dst, const net::Packet& frame) {
     // wait for an application-layer handshake. The page-retry timer stays
     // armed in case the optimistic flush fails.
     ++state.pagesSent;
+    state.firstPageAt = env_.simulator().now();
+    if (auto* tracer = obs::tracer(env_.simulator())) {
+      tracer->begin("ras", "wake_chain", wakeChainSpanId(dst), env_.id(),
+                    {{"dst", dst}});
+      tracer->instant("ras", "page_host", env_.id(),
+                      {{"dst", dst}, {"attempt", state.pagesSent}});
+    }
     env_.pageHost(dst);
     state.retryTimer = env_.simulator().schedule(
         ecgridConfig_.pageResponseTimeout,
-        [this, dst] { onPageTimeout(dst); });
+        [this, dst] { onPageTimeout(dst); }, "ecgrid/page_timeout");
     env_.simulator().schedule(
-        2.5 * kOptimisticWakeDelay, [this, dst] { flushWakeBuffer(dst); });
+        2.5 * kOptimisticWakeDelay, [this, dst] { flushWakeBuffer(dst); },
+        "ecgrid/wake_flush");
   }
 }
 
@@ -194,14 +234,24 @@ void EcgridProtocol::onPageTimeout(net::NodeId dst) {
     // treating it as local.
     ECGRID_LOG_DEBUG(kTag, "node " << env_.id() << " gives up paging "
                                    << dst);
+    if (auto* tracer = obs::tracer(env_.simulator())) {
+      tracer->end("ras", "wake_chain", wakeChainSpanId(dst), env_.id(),
+                  {{"delivered", 0}});
+    }
     hostTable_.remove(dst);
     wakeBuffer_.erase(it);
     return;
   }
   ++state.pagesSent;
+  if (auto* tracer = obs::tracer(env_.simulator())) {
+    tracer->instant("ras", "page_timeout", env_.id(), {{"dst", dst}});
+    tracer->instant("ras", "page_host", env_.id(),
+                    {{"dst", dst}, {"attempt", state.pagesSent}});
+  }
   env_.pageHost(dst);
   state.retryTimer = env_.simulator().schedule(
-      ecgridConfig_.pageResponseTimeout, [this, dst] { onPageTimeout(dst); });
+      ecgridConfig_.pageResponseTimeout, [this, dst] { onPageTimeout(dst); },
+      "ecgrid/page_timeout");
 }
 
 void EcgridProtocol::onSendFailed(const net::Packet& packet) {
@@ -231,8 +281,18 @@ void EcgridProtocol::flushWakeBuffer(net::NodeId dst) {
   auto it = wakeBuffer_.find(dst);
   if (it == wakeBuffer_.end()) return;
   it->second.retryTimer.cancel();
+  const sim::Time firstPageAt = it->second.firstPageAt;
   std::deque<net::Packet> frames = std::move(it->second.buffered);
   wakeBuffer_.erase(it);
+  if (firstPageAt >= 0.0) {
+    const sim::Time latency = env_.simulator().now() - firstPageAt;
+    mWakeLatency_.observe(latency);
+    if (auto* tracer = obs::tracer(env_.simulator())) {
+      tracer->end("ras", "wake_chain", wakeChainSpanId(dst), env_.id(),
+                  {{"delivered", static_cast<int>(frames.size())},
+                   {"latency_s", latency}});
+    }
+  }
   for (net::Packet& frame : frames) {
     unicastFrame(dst, frame.header);
   }
@@ -325,20 +385,31 @@ void EcgridProtocol::retireForLoadBalance() {
 void EcgridProtocol::beginRetire(const geo::GridCoord& forGrid) {
   // Paper §3.2: wake the whole grid with its broadcast sequence, wait τ
   // so transceivers are up, then broadcast RETIRE(grid, rtab).
+  if (auto* tracer = obs::tracer(env_.simulator())) {
+    tracer->instant("ras", "page_grid", env_.id(),
+                    {{"gx", forGrid.x}, {"gy", forGrid.y}});
+  }
   env_.pageGrid(forGrid);
   auto records = engine_.routes().exportRecords(env_.simulator().now());
   geo::GridCoord grid = forGrid;
   env_.simulator().schedule(
-      config_.retireTau, [this, grid, records]() mutable {
+      config_.retireTau,
+      [this, grid, records]() mutable {
         if (role() == Role::kDead) return;
         broadcastRetire(grid, std::move(records));
-      });
+      },
+      "ecgrid/retire_tau");
 }
 
 void EcgridProtocol::onNoGateway() {
   // Wake the whole grid before the election so sleepers can stand as
   // candidates (paper §3.2: "to elect a new gateway, all hosts in the
   // same grid must be in active mode").
+  if (auto* tracer = obs::tracer(env_.simulator())) {
+    const geo::GridCoord grid = env_.cell();
+    tracer->instant("ras", "page_grid", env_.id(),
+                    {{"gx", grid.x}, {"gy", grid.y}});
+  }
   env_.pageGrid(env_.cell());
   startElection();
 }

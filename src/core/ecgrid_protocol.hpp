@@ -92,6 +92,7 @@ class EcgridProtocol final : public protocols::GridProtocolBase {
   struct WakeState {
     std::deque<net::Packet> buffered;
     int pagesSent = 0;
+    sim::Time firstPageAt = -1.0;  ///< when the first RAS page went out
     sim::EventHandle retryTimer;
   };
 
@@ -105,8 +106,16 @@ class EcgridProtocol final : public protocols::GridProtocolBase {
   void sendAcq(net::NodeId destination);
   void retireForLoadBalance();
 
+  /// Span id correlating one gateway's page→wake→flush chain for `dst`.
+  std::uint64_t wakeChainSpanId(net::NodeId dst) const;
+
   EcgridConfig ecgridConfig_;
   std::map<net::NodeId, WakeState> wakeBuffer_;
+  // Observability (inert without a hub; see obs/observability.hpp).
+  obs::Counter mSleeps_;
+  obs::Counter mWakes_;
+  obs::Counter mAcqsSent_;
+  obs::Histogram mWakeLatency_;
   sim::Time lastAppActivity_ = -1e9;
   sim::EventHandle sleepTimer_;
   sim::EventHandle acqTimer_;

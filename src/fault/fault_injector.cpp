@@ -62,9 +62,12 @@ void FaultInjector::armCrashes() {
     ECGRID_REQUIRE(node != nullptr, "scripted crash names an unknown host");
     ECGRID_REQUIRE(e.at >= sim_.now(), "scripted crash is in the past");
     ECGRID_REQUIRE(e.restartAt > e.at, "restart must follow the crash");
-    sim_.scheduleAt(e.at, [this, node, restartAt = e.restartAt] {
-      crashNow(*node, restartAt, /*poisson=*/false);
-    });
+    sim_.scheduleAt(
+        e.at,
+        [this, node, restartAt = e.restartAt] {
+          crashNow(*node, restartAt, /*poisson=*/false);
+        },
+        "fault/crash");
   }
   if (plan_.hosts.crashRatePerHostPerSecond > 0.0) {
     for (auto& nodePtr : network_.nodes()) {
@@ -90,9 +93,10 @@ void FaultInjector::armGps() {
       nodePtr->setGpsError(error);
     }
     if (plan_.gps.driftStddevMeters > 0.0) {
-      sim_.schedule(plan_.gps.driftPeriodSeconds, [this] { gpsDriftTick(); });
+      sim_.schedule(plan_.gps.driftPeriodSeconds, [this] { gpsDriftTick(); },
+                    "fault/gps_drift");
     }
-  });
+  }, "fault/gps_arm");
 }
 
 void FaultInjector::gpsDriftTick() {
@@ -105,20 +109,24 @@ void FaultInjector::gpsDriftTick() {
     error.y += gpsRng_.gaussian(0.0, plan_.gps.driftStddevMeters);
     nodePtr->setGpsError(error);
   }
-  sim_.schedule(plan_.gps.driftPeriodSeconds, [this] { gpsDriftTick(); });
+  sim_.schedule(plan_.gps.driftPeriodSeconds, [this] { gpsDriftTick(); },
+                "fault/gps_drift");
 }
 
 void FaultInjector::schedulePoissonCrash(net::Node& node) {
   poissonPending_.insert(node.id());
   sim::Time dt =
       crashRng_.exponential(1.0 / plan_.hosts.crashRatePerHostPerSecond);
-  sim_.schedule(dt, [this, &node] {
-    // Clear the pending marker even when the crash no-ops on an
-    // already-down host: the next restart (whatever revives the host)
-    // re-arms the process via restartNow.
-    poissonPending_.erase(node.id());
-    crashNow(node, sim::kTimeNever, /*poisson=*/true);
-  });
+  sim_.schedule(
+      dt,
+      [this, &node] {
+        // Clear the pending marker even when the crash no-ops on an
+        // already-down host: the next restart (whatever revives the host)
+        // re-arms the process via restartNow.
+        poissonPending_.erase(node.id());
+        crashNow(node, sim::kTimeNever, /*poisson=*/true);
+      },
+      "fault/crash");
 }
 
 void FaultInjector::crashNow(net::Node& node, sim::Time restartAt,
@@ -131,7 +139,8 @@ void FaultInjector::crashNow(net::Node& node, sim::Time restartAt,
         sim_.now() + crashRng_.exponential(plan_.hosts.meanDowntimeSeconds);
   }
   if (restartAt < sim::kTimeNever) {
-    sim_.scheduleAt(restartAt, [this, &node] { restartNow(node); });
+    sim_.scheduleAt(restartAt, [this, &node] { restartNow(node); },
+                    "fault/restart");
   }
 }
 

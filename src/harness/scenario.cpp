@@ -9,6 +9,7 @@
 #include "check/network_audits.hpp"
 #include "fault/fault_injector.hpp"
 #include "mobility/random_waypoint.hpp"
+#include "obs/observability.hpp"
 #include "protocols/flooding/flooding_protocol.hpp"
 #include "protocols/grid/grid_protocol.hpp"
 #include "stats/energy_recorder.hpp"
@@ -99,6 +100,19 @@ ScenarioResult runScenario(const ScenarioConfig& config) {
   // Before anything is scheduled, so every event of the run gets a
   // perturbed tie-break key (determinism analysis; see scenario.hpp).
   if (config.perturbTieBreak) simulator.perturbTieBreaks();
+
+  // The hub must exist before any component so constructor-time
+  // obs::counter() registrations resolve to live cells.
+  obs::Observability observability(simulator);
+  if (!config.eventTracePath.empty()) {
+    observability.openTrace(config.eventTracePath,
+                            {{"protocol", toString(config.protocol)},
+                             {"seed", std::to_string(config.seed)}});
+  }
+  obs::SimProfiler* profiler = nullptr;
+  if (config.profileSimulator) {
+    profiler = &observability.enableProfiler(config.profileQueueSampleEvents);
+  }
 
   net::NetworkConfig netConfig;
   netConfig.gridCellSide = config.gridCellSide;
@@ -228,6 +242,7 @@ ScenarioResult runScenario(const ScenarioConfig& config) {
   result.meanLatencySeconds = accounting.meanLatency();
   result.p50LatencySeconds = accounting.latencyPercentile(50.0);
   result.p95LatencySeconds = accounting.latencyPercentile(95.0);
+  result.p99LatencySeconds = accounting.latencyPercentile(99.0);
   result.latencies = accounting.latencies();
   result.framesTransmitted = network.channel().framesTransmitted();
   result.pagesSent = network.paging().pagesSent();
@@ -265,6 +280,26 @@ ScenarioResult runScenario(const ScenarioConfig& config) {
     result.routing.rerrsSent += stats->rerrsSent;
     result.routing.discoveriesStarted += stats->discoveriesStarted;
     result.routing.discoveriesFailed += stats->discoveriesFailed;
+  }
+
+  // Post-run aggregates: traffic accounting and the end-to-end latency
+  // distribution folded into a fixed-bin histogram (satellite of the
+  // observability layer — the bench JSON reports p99 and bin counts
+  // instead of shipping every raw latency).
+  obs::MetricsRegistry& registry = observability.metrics();
+  registry.counter("traffic.packets_sent").add(result.packetsSent);
+  registry.counter("traffic.packets_received").add(result.packetsReceived);
+  obs::Histogram e2e = registry.histogram(
+      "e2e.latency_s", {0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2,
+                        0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0});
+  for (double latency : result.latencies) e2e.observe(latency);
+  if (profiler != nullptr) {
+    profiler->mergeInto(registry);
+    result.queueDepthSamples = profiler->queueDepthSamples();
+  }
+  result.metrics = registry.snapshot();
+  if (obs::EventTracer* tracer = observability.tracer()) {
+    result.traceEventsWritten = tracer->eventsWritten();
   }
   return result;
 }

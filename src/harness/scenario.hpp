@@ -17,6 +17,7 @@
 #include "core/ecgrid_protocol.hpp"
 #include "fault/fault_plan.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
 #include "protocols/common/grid_protocol_base.hpp"
 #include "protocols/gaf/gaf_protocol.hpp"
 #include "stats/packet_accounting.hpp"
@@ -105,6 +106,22 @@ struct ScenarioConfig {
   /// enable for runs whose figures you intend to keep.
   bool perturbTieBreak = false;
 
+  /// Observability (src/obs): when non-empty, protocol events are traced
+  /// into this JSONL file (see obs::EventTracer; convert with
+  /// tools/trace_chrome.py, validate with tools/trace_check.py). Tracing
+  /// draws no RNG and schedules nothing, so the run's digest trace is
+  /// byte-identical with tracing on or off (gated in tests/obs_test.cpp).
+  std::string eventTracePath;
+
+  /// Profile the simulator: per-event-type dispatch counts, wall-clock
+  /// attribution, and event-queue depth samples, folded into
+  /// ScenarioResult::metrics ("profile.*") and queueDepthSamples. Reads
+  /// wall clocks, so profiled numbers vary run-to-run — but the simulation
+  /// itself stays bit-identical (the probe only observes).
+  bool profileSimulator = false;
+  /// Queue-depth sampling cadence while profiling, in executed events.
+  std::uint64_t profileQueueSampleEvents = 1024;
+
   /// Adverse conditions (src/fault): channel error model, host
   /// crash/restart schedule, GPS error, RAS paging loss. The default
   /// (empty) plan arms nothing and the run is byte-identical to a
@@ -129,6 +146,7 @@ struct ScenarioResult {
   double meanLatencySeconds = 0.0;
   double p50LatencySeconds = 0.0;
   double p95LatencySeconds = 0.0;
+  double p99LatencySeconds = 0.0;
 
   std::uint64_t framesTransmitted = 0;  ///< MAC frames on the air
   std::uint64_t pagesSent = 0;          ///< RAS pages
@@ -156,6 +174,18 @@ struct ScenarioResult {
   std::vector<double> latencies;
 
   protocols::RoutingStats routing;  ///< summed over all hosts
+
+  /// Flattened snapshot of every counter/gauge/histogram the layers
+  /// registered during the run (obs::MetricsRegistry), plus post-run
+  /// aggregates (traffic.*, e2e.latency_s histogram) and, when profiling,
+  /// the profile.* attribution. Deterministic except for profile.*wall_s.
+  obs::MetricsSnapshot metrics;
+
+  /// Event-queue depth over sim time; empty unless profileSimulator.
+  std::vector<std::pair<double, double>> queueDepthSamples;
+
+  /// Events written to eventTracePath (0 when tracing was off).
+  std::uint64_t traceEventsWritten = 0;
 };
 
 /// Build, run, and tear down one simulation. Deterministic in `config`.

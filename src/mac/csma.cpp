@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/observability.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -17,7 +18,12 @@ CsmaMac::CsmaMac(sim::Simulator& sim, phy::Radio& radio, phy::Channel& channel,
       radio_(radio),
       channel_(channel),
       config_(config),
-      rng_(std::move(rng)) {
+      rng_(std::move(rng)),
+      mFramesSent_(obs::counter(sim, "mac.frames_sent")),
+      mFramesDropped_(obs::counter(sim, "mac.frames_dropped")),
+      mAcksSent_(obs::counter(sim, "mac.acks_sent")),
+      mAcksSkipped_(obs::counter(sim, "mac.acks_skipped")),
+      mRetransmissions_(obs::counter(sim, "mac.retransmissions")) {
   ECGRID_REQUIRE(config.contentionWindowMin >= 1, "contention window >= 1");
   ECGRID_REQUIRE(config.maxAccessAttempts >= 1, "need at least one attempt");
   ECGRID_REQUIRE(config.retryLimit >= 0, "retry limit cannot be negative");
@@ -75,18 +81,23 @@ void CsmaMac::sendAck(net::NodeId to, std::uint64_t seq) {
   ack.macSrc = radio_.id();
   ack.macDst = to;
   ack.header = std::make_shared<AckHeader>(seq);
-  sim_.schedule(config_.sifsSeconds, [this, ack] {
-    // The ACK pre-empts normal traffic (SIFS < DIFS) but cannot interrupt
-    // a transmission already in progress — the data sender will simply
-    // retransmit in that (rare) case.
-    if (radio_.dead() || radio_.sleeping() ||
-        radio_.state() == phy::RadioState::kTx) {
-      ++acksSkipped_;
-      return;
-    }
-    ++acksSent_;
-    radio_.transmit(ack, channel_.frameAirtime(ack.bytes()));
-  });
+  sim_.schedule(
+      config_.sifsSeconds,
+      [this, ack] {
+        // The ACK pre-empts normal traffic (SIFS < DIFS) but cannot
+        // interrupt a transmission already in progress — the data sender
+        // will simply retransmit in that (rare) case.
+        if (radio_.dead() || radio_.sleeping() ||
+            radio_.state() == phy::RadioState::kTx) {
+          ++acksSkipped_;
+          mAcksSkipped_.add();
+          return;
+        }
+        ++acksSent_;
+        mAcksSent_.add();
+        radio_.transmit(ack, channel_.frameAirtime(ack.bytes()));
+      },
+      "mac/ack");
 }
 
 // --------------------------------------------------------------------------
@@ -96,15 +107,33 @@ void CsmaMac::send(net::Packet packet) {
   ECGRID_REQUIRE(packet.header != nullptr, "packet must carry a header");
   if (radio_.dead() || radio_.sleeping()) {
     ++framesDropped_;
+    mFramesDropped_.add();
+    if (auto* tracer = obs::tracer(sim_)) {
+      tracer->instant("mac", "drop", radio_.id(),
+                      {{"reason", "radio_down"},
+                       {"hdr", packet.header->name()}});
+    }
     return;
   }
   if (queue_.size() >= config_.queueLimit) {
     ++framesDropped_;
+    mFramesDropped_.add();
+    if (auto* tracer = obs::tracer(sim_)) {
+      tracer->instant("mac", "drop", radio_.id(),
+                      {{"reason", "queue_overflow"},
+                       {"hdr", packet.header->name()}});
+    }
     ECGRID_LOG_DEBUG(kTag, "node " << radio_.id() << " queue overflow, drop "
                                    << packet.header->name());
     return;
   }
   packet.macSeq = nextMacSeq_++;
+  if (auto* tracer = obs::tracer(sim_)) {
+    tracer->instant("mac", "enqueue", radio_.id(),
+                    {{"seq", packet.macSeq},
+                     {"dst", packet.macDst},
+                     {"hdr", packet.header->name()}});
+  }
   Pending pending;
   pending.packet = std::move(packet);
   pending.cw = config_.contentionWindowMin;
@@ -114,6 +143,7 @@ void CsmaMac::send(net::Packet packet) {
 
 void CsmaMac::clearQueue() {
   framesDropped_ += queue_.size();
+  mFramesDropped_.add(queue_.size());
   queue_.clear();
   accessTimer_.cancel();
   ackTimer_.cancel();
@@ -138,7 +168,8 @@ void CsmaMac::scheduleAccess() {
       front.busyRetries == 0) {
     delay += rng_.uniform(0.0, config_.broadcastJitterSeconds);
   }
-  accessTimer_ = sim_.schedule(delay, [this] { tryTransmit(); });
+  accessTimer_ =
+      sim_.schedule(delay, [this] { tryTransmit(); }, "mac/access");
 }
 
 void CsmaMac::tryTransmit() {
@@ -154,6 +185,12 @@ void CsmaMac::tryTransmit() {
       ECGRID_LOG_DEBUG(kTag, "node " << radio_.id()
                                      << " exceeded access attempts, drop "
                                      << front.packet.header->name());
+      if (auto* tracer = obs::tracer(sim_)) {
+        tracer->instant("mac", "drop", radio_.id(),
+                        {{"reason", "access_exhausted"},
+                         {"seq", front.packet.macSeq},
+                         {"hdr", front.packet.header->name()}});
+      }
       finishFront(/*delivered=*/false);
       return;
     }
@@ -167,12 +204,21 @@ void CsmaMac::tryTransmit() {
         static_cast<double>(rng_.uniformInt(0, front.cw - 1));
     accessTimer_ = sim_.schedule(
         wait + config_.difsSeconds + backoffSlots * config_.slotSeconds,
-        [this] { tryTransmit(); });
+        [this] { tryTransmit(); }, "mac/access");
     return;
   }
   transmitting_ = true;
   ++front.txAttempts;
-  if (front.txAttempts > 1) ++retransmissions_;
+  if (front.txAttempts > 1) {
+    ++retransmissions_;
+    mRetransmissions_.add();
+  }
+  if (auto* tracer = obs::tracer(sim_)) {
+    tracer->instant("mac", "tx", radio_.id(),
+                    {{"seq", front.packet.macSeq},
+                     {"attempt", front.txAttempts},
+                     {"hdr", front.packet.header->name()}});
+  }
   radio_.transmit(front.packet, channel_.frameAirtime(front.packet.bytes()));
 }
 
@@ -194,8 +240,9 @@ void CsmaMac::onTxComplete() {
     return;
   }
   awaitingAck_ = true;
-  ackTimer_ =
-      sim_.schedule(config_.ackTimeoutSeconds, [this] { onAckTimeout(); });
+  ackTimer_ = sim_.schedule(
+      config_.ackTimeoutSeconds, [this] { onAckTimeout(); },
+      "mac/ack_timeout");
 }
 
 void CsmaMac::onAckTimeout() {
@@ -211,6 +258,13 @@ void CsmaMac::onAckTimeout() {
     ECGRID_LOG_DEBUG(kTag, "node " << radio_.id() << " retry limit, drop "
                                    << front.packet.header->name() << " to "
                                    << front.packet.macDst);
+    if (auto* tracer = obs::tracer(sim_)) {
+      tracer->instant("mac", "drop", radio_.id(),
+                      {{"reason", "retry_limit"},
+                       {"seq", front.packet.macSeq},
+                       {"dst", front.packet.macDst},
+                       {"hdr", front.packet.header->name()}});
+    }
     finishFront(/*delivered=*/false);
     return;
   }
@@ -224,8 +278,15 @@ void CsmaMac::finishFront(bool delivered) {
   bool notify = false;
   if (delivered) {
     ++framesSent_;
+    mFramesSent_.add();
+    if (auto* tracer = obs::tracer(sim_)) {
+      tracer->instant("mac", "sent", radio_.id(),
+                      {{"seq", queue_.front().packet.macSeq},
+                       {"hdr", queue_.front().packet.header->name()}});
+    }
   } else {
     ++framesDropped_;
+    mFramesDropped_.add();
     if (sendFailure_ && !net::isBroadcast(queue_.front().packet.macDst)) {
       failed = queue_.front().packet;
       notify = true;

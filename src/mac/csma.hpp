@@ -25,6 +25,7 @@
 
 #include "net/link_layer.hpp"
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
 #include "phy/channel.hpp"
 #include "phy/radio.hpp"
 #include "sim/rng.hpp"
@@ -122,6 +123,14 @@ class CsmaMac final : public net::LinkLayer {
   std::uint64_t acksSent_ = 0;
   std::uint64_t acksSkipped_ = 0;
   std::uint64_t retransmissions_ = 0;
+  // Registry mirrors of the counters above (inert without an
+  // Observability hub; see obs/observability.hpp). Shared across all MACs
+  // on the simulator: re-registering a name returns the same cell.
+  obs::Counter mFramesSent_;
+  obs::Counter mFramesDropped_;
+  obs::Counter mAcksSent_;
+  obs::Counter mAcksSkipped_;
+  obs::Counter mRetransmissions_;
 };
 
 }  // namespace ecgrid::mac

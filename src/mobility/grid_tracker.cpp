@@ -55,7 +55,8 @@ void GridTracker::arm() {
   sim::Time next = model_.nextPossibleCellExit(
       grid_, sim_.now(), offset_ ? offset_() : geo::Vec2{});
   if (next >= sim::kTimeNever) return;  // static host: nothing to track
-  pending_ = sim_.scheduleAt(next, [this] { onTimer(); });
+  pending_ = sim_.scheduleAt(next, [this] { onTimer(); },
+                             "mobility/cell_exit");
 }
 
 void GridTracker::onTimer() {

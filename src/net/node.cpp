@@ -1,5 +1,6 @@
 #include "net/node.hpp"
 
+#include "obs/observability.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -7,7 +8,13 @@ namespace ecgrid::net {
 
 namespace {
 constexpr const char* kTag = "node";
+
+/// Span id correlating a packet's originate with its delivery: flows are
+/// globally unique, sequences unique within a flow.
+std::uint64_t flowSpanId(const DataTag& tag) {
+  return (tag.flowId << 32) | (tag.sequence & 0xffffffffULL);
 }
+}  // namespace
 
 Node::Node(sim::Simulator& sim, const geo::GridMap& grid,
            phy::Channel& channel, phy::PagingChannel& paging,
@@ -123,6 +130,13 @@ void Node::start() {
 void Node::sendFromApp(NodeId destination, int payloadBytes,
                        const DataTag& tag) {
   if (!alive()) return;
+  if (auto* tracer = obs::tracer(sim_)) {
+    tracer->begin("pkt", "flow", flowSpanId(tag), config_.id,
+                  {{"dst", destination},
+                   {"bytes", payloadBytes},
+                   {"flow", tag.flowId},
+                   {"seq", tag.sequence}});
+  }
   protocol_->sendData(destination, payloadBytes, tag);
 }
 
@@ -151,6 +165,10 @@ void Node::pageGrid(const geo::GridCoord& gridCoord) {
 }
 
 void Node::deliverToApp(NodeId appSrc, const DataTag& tag, int payloadBytes) {
+  if (auto* tracer = obs::tracer(sim_)) {
+    tracer->end("pkt", "flow", flowSpanId(tag), config_.id,
+                {{"src", appSrc}, {"bytes", payloadBytes}});
+  }
   if (onAppReceive_) onAppReceive_(appSrc, tag, payloadBytes);
 }
 
@@ -160,6 +178,10 @@ void Node::crash() {
                                 << sim_.now());
   crashed_ = true;
   crashedAt_ = sim_.now();
+  obs::counter(sim_, "fault.crashes").add();
+  if (auto* tracer = obs::tracer(sim_)) {
+    tracer->instant("fault", "crash", config_.id);
+  }
   tracker_->stop();
   if (phyTracker_) phyTracker_->stop();
   mac_->clearQueue();
@@ -178,6 +200,10 @@ void Node::restart() {
   ECGRID_LOG_INFO(kTag, "node " << config_.id << " restarted at t="
                                 << sim_.now());
   crashed_ = false;
+  obs::counter(sim_, "fault.restarts").add();
+  if (auto* tracer = obs::tracer(sim_)) {
+    tracer->instant("fault", "restart", config_.id);
+  }
   radio_->powerUp();
   attachToMedia();
   tracker_->restart();
@@ -198,6 +224,10 @@ void Node::setGpsError(const geo::Vec2& error) {
 
 void Node::onDeath() {
   ECGRID_LOG_INFO(kTag, "node " << config_.id << " died at t=" << sim_.now());
+  obs::counter(sim_, "energy.deaths").add();
+  if (auto* tracer = obs::tracer(sim_)) {
+    tracer->instant("node", "death", config_.id);
+  }
   tracker_->stop();
   if (phyTracker_) phyTracker_->stop();
   mac_->clearQueue();

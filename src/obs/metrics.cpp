@@ -1,0 +1,173 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace ecgrid::obs {
+
+namespace detail {
+
+void HistogramCell::observe(double value) {
+  if (count == 0) {
+    min = value;
+    max = value;
+  } else {
+    min = std::min(min, value);
+    max = std::max(max, value);
+  }
+  ++count;
+  sum += value;
+  // First edge >= value; past-the-end means the overflow bin.
+  auto it = std::lower_bound(upperEdges.begin(), upperEdges.end(), value);
+  ++bins[static_cast<std::size_t>(it - upperEdges.begin())];
+}
+
+double HistogramCell::percentile(double p) const {
+  if (count == 0) return 0.0;
+  const double target = p / 100.0 * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    if (bins[i] == 0) continue;
+    const std::uint64_t before = cumulative;
+    cumulative += bins[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    // Linear interpolation inside bin i. The bin spans (lower, upper]
+    // where lower/upper come from the edges, tightened by the observed
+    // min/max so percentiles never leave the data's range.
+    double lower = i == 0 ? min : upperEdges[i - 1];
+    double upper = i < upperEdges.size() ? upperEdges[i] : max;
+    lower = std::max(lower, min);
+    upper = std::min(upper, max);
+    if (upper < lower) upper = lower;
+    const double frac =
+        (target - static_cast<double>(before)) / static_cast<double>(bins[i]);
+    return lower + frac * (upper - lower);
+  }
+  return max;
+}
+
+}  // namespace detail
+
+namespace {
+
+bool validMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string edgeKey(const std::string& name, double edge) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%g", edge);
+  return name + ".le_" + buffer;
+}
+
+}  // namespace
+
+std::vector<double> Histogram::linearEdges(double lo, double hi, int n) {
+  ECGRID_REQUIRE(n >= 1 && hi > lo, "need at least one ascending edge");
+  std::vector<double> edges;
+  edges.reserve(static_cast<std::size_t>(n));
+  const double width = (hi - lo) / n;
+  for (int i = 1; i <= n; ++i) edges.push_back(lo + width * i);
+  return edges;
+}
+
+std::vector<double> Histogram::exponentialEdges(double first, double factor,
+                                                int n) {
+  ECGRID_REQUIRE(n >= 1 && first > 0.0 && factor > 1.0,
+                 "exponential edges need first > 0 and factor > 1");
+  std::vector<double> edges;
+  edges.reserve(static_cast<std::size_t>(n));
+  double edge = first;
+  for (int i = 0; i < n; ++i) {
+    edges.push_back(edge);
+    edge *= factor;
+  }
+  return edges;
+}
+
+void MetricsRegistry::requireFreshName(const std::string& name,
+                                       const char* kind) const {
+  ECGRID_REQUIRE(validMetricName(name),
+                 "metric names are non-empty [A-Za-z0-9_.-]: " + name);
+  const bool isCounter = counters_.count(name) > 0;
+  const bool isGauge = gauges_.count(name) > 0;
+  const bool isHistogram = histograms_.count(name) > 0;
+  const std::string k = kind;
+  ECGRID_REQUIRE((isCounter ? k == "counter" : true) &&
+                     (isGauge ? k == "gauge" : true) &&
+                     (isHistogram ? k == "histogram" : true),
+                 "metric already registered as a different kind: " + name);
+}
+
+Counter MetricsRegistry::counter(const std::string& name) {
+  requireFreshName(name, "counter");
+  auto& cell = counters_[name];
+  if (cell == nullptr) cell = std::make_unique<detail::CounterCell>();
+  return Counter(cell.get());
+}
+
+Gauge MetricsRegistry::gauge(const std::string& name) {
+  requireFreshName(name, "gauge");
+  auto& cell = gauges_[name];
+  if (cell == nullptr) cell = std::make_unique<detail::GaugeCell>();
+  return Gauge(cell.get());
+}
+
+Histogram MetricsRegistry::histogram(const std::string& name,
+                                     std::vector<double> upperEdges) {
+  requireFreshName(name, "histogram");
+  ECGRID_REQUIRE(!upperEdges.empty(), "histogram needs at least one edge");
+  ECGRID_REQUIRE(std::is_sorted(upperEdges.begin(), upperEdges.end()) &&
+                     std::adjacent_find(upperEdges.begin(), upperEdges.end()) ==
+                         upperEdges.end(),
+                 "histogram edges must be strictly ascending");
+  auto& cell = histograms_[name];
+  if (cell == nullptr) {
+    cell = std::make_unique<detail::HistogramCell>();
+    cell->upperEdges = std::move(upperEdges);
+    cell->bins.assign(cell->upperEdges.size() + 1, 0);
+  } else {
+    ECGRID_REQUIRE(cell->upperEdges == upperEdges,
+                   "histogram re-registered with different edges: " + name);
+  }
+  return Histogram(cell.get());
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  for (const auto& [name, cell] : counters_) {
+    out[name] = static_cast<double>(cell->value);
+  }
+  for (const auto& [name, cell] : gauges_) {
+    out[name] = cell->value;
+  }
+  for (const auto& [name, cell] : histograms_) {
+    out[name + ".count"] = static_cast<double>(cell->count);
+    out[name + ".sum"] = cell->sum;
+    out[name + ".mean"] =
+        cell->count > 0 ? cell->sum / static_cast<double>(cell->count) : 0.0;
+    out[name + ".min"] = cell->min;
+    out[name + ".max"] = cell->max;
+    out[name + ".p50"] = cell->percentile(50.0);
+    out[name + ".p95"] = cell->percentile(95.0);
+    out[name + ".p99"] = cell->percentile(99.0);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < cell->upperEdges.size(); ++i) {
+      cumulative += cell->bins[i];
+      out[edgeKey(name, cell->upperEdges[i])] =
+          static_cast<double>(cumulative);
+    }
+    out[name + ".le_inf"] = static_cast<double>(cell->count);
+  }
+  return out;
+}
+
+}  // namespace ecgrid::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/observability.hpp"
 #include "phy/radio.hpp"
 #include "util/error.hpp"
 
@@ -18,7 +19,11 @@ constexpr double kIndexCellMargin = 1.0625;
 }  // namespace
 
 Channel::Channel(sim::Simulator& sim, const ChannelConfig& config)
-    : sim_(sim), config_(config) {
+    : sim_(sim),
+      config_(config),
+      mFramesTransmitted_(obs::counter(sim, "phy.frames_transmitted")),
+      mDeliveriesScheduled_(obs::counter(sim, "phy.deliveries_scheduled")),
+      mDeliveriesCorrupted_(obs::counter(sim, "phy.deliveries_corrupted")) {
   ECGRID_REQUIRE(config.rangeMeters > 0.0, "range must be positive");
   ECGRID_REQUIRE(config.bitrateBps > 0.0, "bitrate must be positive");
   if (config_.useSpatialIndex) {
@@ -88,31 +93,39 @@ void Channel::deliverTo(const Attachment& attachment, net::NodeId senderId,
   Radio* receiver = attachment.radio;
   if (distSq <= rangeSq) {
     ++deliveriesScheduled_;
+    mDeliveriesScheduled_.add();
     if (config_.deliveryFault &&
         config_.deliveryFault(senderId, receiver->id())) {
       // Channel error: the frame arrives as undecodable energy — carrier
       // sense stays busy and concurrent receptions are ruined, but the
       // frame itself is lost (the MAC's ARQ sees a missing ACK).
       ++deliveriesCorrupted_;
-      sim_.schedule(delay, [receiver, duration] {
-        receiver->beginInterference(duration);
-      });
+      mDeliveriesCorrupted_.add();
+      sim_.schedule(
+          delay,
+          [receiver, duration] { receiver->beginInterference(duration); },
+          "phy/interference");
       return;
     }
-    sim_.schedule(delay, [receiver, stamped, duration] {
-      receiver->beginReceive(stamped, duration);
-    });
+    sim_.schedule(
+        delay,
+        [receiver, stamped, duration] {
+          receiver->beginReceive(stamped, duration);
+        },
+        "phy/deliver");
   } else {
     // Inside the interference ring: energy arrives but cannot decode.
-    sim_.schedule(delay, [receiver, duration] {
-      receiver->beginInterference(duration);
-    });
+    sim_.schedule(
+        delay,
+        [receiver, duration] { receiver->beginInterference(duration); },
+        "phy/interference");
   }
 }
 
 void Channel::transmitFrom(Radio& sender, const net::Packet& packet,
                            sim::Time duration) {
   ++framesTransmitted_;
+  mFramesTransmitted_.add();
   net::Packet stamped = packet;
   stamped.uid = nextUid_++;
 

@@ -22,6 +22,7 @@
 
 #include "geo/vec2.hpp"
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
 #include "phy/spatial_index.hpp"
 #include "sim/simulator.hpp"
 
@@ -128,6 +129,11 @@ class Channel {
   std::uint64_t deliveriesScheduled_ = 0;
   std::uint64_t deliveriesCorrupted_ = 0;
   std::uint64_t nextUid_ = 1;
+  // Registry mirrors of the counters above (inert without an
+  // Observability hub; see obs/observability.hpp).
+  obs::Counter mFramesTransmitted_;
+  obs::Counter mDeliveriesScheduled_;
+  obs::Counter mDeliveriesCorrupted_;
 };
 
 }  // namespace ecgrid::phy

@@ -1,11 +1,16 @@
 #include "phy/paging.hpp"
 
+#include "obs/observability.hpp"
 #include "util/error.hpp"
 
 namespace ecgrid::phy {
 
 PagingChannel::PagingChannel(sim::Simulator& sim, const PagingConfig& config)
-    : sim_(sim), config_(config) {
+    : sim_(sim),
+      config_(config),
+      mPagesSent_(obs::counter(sim, "paging.pages_sent")),
+      mPagesDelivered_(obs::counter(sim, "paging.pages_delivered")),
+      mPagesLost_(obs::counter(sim, "paging.pages_lost")) {
   ECGRID_REQUIRE(config.rangeMeters > 0.0, "paging range must be positive");
   ECGRID_REQUIRE(config.latencySeconds >= 0.0, "latency cannot be negative");
 }
@@ -39,18 +44,22 @@ void PagingChannel::deliver(const Attachment& a,
                             const net::PageSignal& signal) {
   if (config_.pageLoss && config_.pageLoss(a.id)) {
     ++pagesLost_;
+    mPagesLost_.add();
     return;
   }
   ++pagesDelivered_;
+  mPagesDelivered_.add();
   // Copy the hook: the attachment vector may grow before the event fires.
   auto hook = a.onPaged;
-  sim_.schedule(config_.latencySeconds,
-                [hook, signal] { hook(signal); });
+  sim_.schedule(
+      config_.latencySeconds, [hook, signal] { hook(signal); },
+      "paging/deliver");
 }
 
 void PagingChannel::pageHost(net::NodeId pagedBy, const geo::Vec2& from,
                              net::NodeId target) {
   ++pagesSent_;
+  mPagesSent_.add();
   net::PageSignal signal;
   signal.kind = net::PageKind::kHost;
   signal.host = target;
@@ -64,6 +73,7 @@ void PagingChannel::pageHost(net::NodeId pagedBy, const geo::Vec2& from,
 void PagingChannel::pageGrid(net::NodeId pagedBy, const geo::Vec2& from,
                              const geo::GridCoord& grid) {
   ++pagesSent_;
+  mPagesSent_.add();
   net::PageSignal signal;
   signal.kind = net::PageKind::kGrid;
   signal.grid = grid;

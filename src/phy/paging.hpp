@@ -20,6 +20,7 @@
 #include "geo/grid.hpp"
 #include "geo/vec2.hpp"
 #include "net/host_env.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace ecgrid::phy {
@@ -87,6 +88,11 @@ class PagingChannel {
   std::uint64_t pagesSent_ = 0;
   std::uint64_t pagesDelivered_ = 0;
   std::uint64_t pagesLost_ = 0;
+  // Registry mirrors of the counters above (inert without an
+  // Observability hub; see obs/observability.hpp).
+  obs::Counter mPagesSent_;
+  obs::Counter mPagesDelivered_;
+  obs::Counter mPagesLost_;
 };
 
 }  // namespace ecgrid::phy

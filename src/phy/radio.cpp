@@ -87,7 +87,7 @@ void Radio::rearmDepletion() {
   if (state_ == RadioState::kOff) return;
   double horizon = battery_.timeToEmpty(sim_.now());
   if (horizon == std::numeric_limits<double>::infinity()) return;
-  depletion_ = sim_.schedule(horizon, [this] { die(); });
+  depletion_ = sim_.schedule(horizon, [this] { die(); }, "phy/battery");
 }
 
 void Radio::die() {
@@ -127,14 +127,17 @@ void Radio::transmit(const net::Packet& packet, sim::Time duration) {
   txEndsAt_ = sim_.now() + duration;
   setState(RadioState::kTx);
   channel_->transmitFrom(*this, packet, duration);
-  txEnd_ = sim_.schedule(duration, [this] {
-    if (state_ != RadioState::kTx) return;  // died mid-transmission
-    setState(sleepPending_ ? RadioState::kSleep : RadioState::kIdle);
-    sleepPending_ = false;
-    // Fire even when the radio fell asleep so the MAC can reset its
-    // transmit latch and drain its queue.
-    if (onTxComplete_) onTxComplete_();
-  });
+  txEnd_ = sim_.schedule(
+      duration,
+      [this] {
+        if (state_ != RadioState::kTx) return;  // died mid-transmission
+        setState(sleepPending_ ? RadioState::kSleep : RadioState::kIdle);
+        sleepPending_ = false;
+        // Fire even when the radio fell asleep so the MAC can reset its
+        // transmit latch and drain its queue.
+        if (onTxComplete_) onTxComplete_();
+      },
+      "phy/tx_end");
 }
 
 void Radio::sleep() {
@@ -182,7 +185,8 @@ void Radio::beginReceive(const net::Packet& packet, sim::Time duration) {
   rx.packet = packet;
   rx.end = sim_.now() + duration;
   rx.corrupted = collision;
-  rx.endEvent = sim_.schedule(duration, [this, token] { onReceptionEnd(token); });
+  rx.endEvent = sim_.schedule(
+      duration, [this, token] { onReceptionEnd(token); }, "phy/rx_end");
   if (collision) {
     for (auto& [t, existing] : receptions_) existing.corrupted = true;
   }

@@ -1,5 +1,6 @@
 #include "protocols/common/grid_protocol_base.hpp"
 
+#include "obs/observability.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -16,8 +17,36 @@ GridProtocolBase::GridProtocolBase(net::HostEnv& env,
       engine_(env, makeHooks(), config.routing),
       hostTable_(config.helloPeriod * config.gatewayStaleFactor),
       neighbours_(config.helloPeriod * config.gatewayStaleFactor),
-      rng_(env.simulator().rng().stream("gridproto", env.id())) {
+      rng_(env.simulator().rng().stream("gridproto", env.id())),
+      mElectionsStarted_(
+          obs::counter(env.simulator(), "grid.elections.started")),
+      mElectionsWon_(obs::counter(env.simulator(), "grid.elections.won")),
+      mRetires_(obs::counter(env.simulator(), "grid.retires")),
+      mHandoffs_(obs::counter(env.simulator(), "grid.handoffs")) {
   ECGRID_REQUIRE(config.helloPeriod > 0.0, "HELLO period must be positive");
+}
+
+void GridProtocolBase::beginElectionRound() {
+  if (openElectionSpan_ != 0) return;
+  mElectionsStarted_.add();
+  openElectionSpan_ =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(env_.id()))
+       << 32) |
+      ++electionSeq_;
+  if (auto* tracer = obs::tracer(env_.simulator())) {
+    tracer->begin("grid", "election", openElectionSpan_, env_.id(),
+                  {{"round", electionSeq_}});
+  }
+}
+
+void GridProtocolBase::endElectionRound(bool won) {
+  if (openElectionSpan_ == 0) return;
+  if (won) mElectionsWon_.add();
+  if (auto* tracer = obs::tracer(env_.simulator())) {
+    tracer->end("grid", "election", openElectionSpan_, env_.id(),
+                {{"won", won ? 1 : 0}});
+  }
+  openElectionSpan_ = 0;
 }
 
 RoutingEngine::Hooks GridProtocolBase::makeHooks() {
@@ -64,15 +93,18 @@ RoutingEngine::Hooks GridProtocolBase::makeHooks() {
 void GridProtocolBase::start() {
   setRole(Role::kUndecided);
   sendHello();
+  beginElectionRound();
   double jitter = rng_.uniform(0.0, config_.helloJitterFrac);
   electionTimer_ = env_.simulator().schedule(
-      config_.helloPeriod * (1.0 + jitter), [this] { decideElection(); });
+      config_.helloPeriod * (1.0 + jitter), [this] { decideElection(); },
+      "proto/election");
   helloTimer_ = env_.simulator().schedule(
       config_.helloPeriod * (1.0 + rng_.uniform(0.0, config_.helloJitterFrac)),
-      [this] { helloTick(); });
+      [this] { helloTick(); }, "proto/hello");
 }
 
 void GridProtocolBase::onShutdown() {
+  endElectionRound(/*won=*/false);
   setRole(Role::kDead);
   helloTimer_.cancel();
   electionTimer_.cancel();
@@ -91,6 +123,11 @@ void GridProtocolBase::setRole(Role role) {
   ECGRID_LOG_DEBUG(kTag, "node " << env_.id() << " role "
                                  << static_cast<int>(old) << " -> "
                                  << static_cast<int>(role));
+  if (auto* tracer = obs::tracer(env_.simulator())) {
+    tracer->instant("grid", "role", env_.id(),
+                    {{"from", static_cast<int>(old)},
+                     {"to", static_cast<int>(role)}});
+  }
   onRoleChanged(old, role);
 }
 
@@ -137,7 +174,7 @@ void GridProtocolBase::helloTick() {
   }
   helloTimer_ = env_.simulator().schedule(
       config_.helloPeriod * (1.0 + rng_.uniform(0.0, config_.helloJitterFrac)),
-      [this] { helloTick(); });
+      [this] { helloTick(); }, "proto/hello");
 }
 
 bool GridProtocolBase::gatewayIsStale() const {
@@ -171,12 +208,16 @@ std::vector<Candidate> GridProtocolBase::freshCandidates(sim::Time window) {
 
 void GridProtocolBase::decideElection() {
   if (role_ == Role::kDead || role_ == Role::kGateway) return;
-  if (currentGateway_.has_value() && !gatewayIsStale()) return;
+  if (currentGateway_.has_value() && !gatewayIsStale()) {
+    endElectionRound(/*won=*/false);
+    return;
+  }
   std::vector<Candidate> field =
       freshCandidates(config_.helloPeriod * config_.gatewayStaleFactor);
   field.push_back(selfCandidate());
   std::optional<Candidate> winner = electGateway(field, config_.election);
   ECGRID_CHECK(winner.has_value(), "election field contained self");
+  endElectionRound(/*won=*/winner->id == env_.id());
   if (winner->id == env_.id()) {
     becomeGateway();
   }
@@ -187,18 +228,20 @@ void GridProtocolBase::decideElection() {
 void GridProtocolBase::startElection() {
   if (role_ == Role::kDead || role_ == Role::kGateway) return;
   if (electionTimer_.pending()) return;  // election already under way
+  beginElectionRound();
   sendHello();
   electionTimer_ = env_.simulator().schedule(
       config_.electionWindow *
           (1.0 + rng_.uniform(0.0, config_.helloJitterFrac)),
-      [this] { decideElection(); });
+      [this] { decideElection(); }, "proto/election");
 }
 
 void GridProtocolBase::enterGraceRouting() {
   graceRouting_ = true;
   graceTimer_.cancel();
   graceTimer_ = env_.simulator().schedule(
-      config_.electionWindow * 3.0, [this] { endGraceRouting(); });
+      config_.electionWindow * 3.0, [this] { endGraceRouting(); },
+      "proto/grace");
 }
 
 void GridProtocolBase::endGraceRouting() {
@@ -213,6 +256,7 @@ void GridProtocolBase::endGraceRouting() {
 }
 
 void GridProtocolBase::becomeGateway() {
+  endElectionRound(/*won=*/true);
   newcomerTimer_.cancel();
   electionTimer_.cancel();
   if (graceRouting_) {
@@ -271,6 +315,10 @@ void GridProtocolBase::stepDownToMember(
 }
 
 void GridProtocolBase::handOffTo(net::NodeId newGateway) {
+  mHandoffs_.add();
+  if (auto* tracer = obs::tracer(env_.simulator())) {
+    tracer->instant("grid", "handoff", env_.id(), {{"to", newGateway}});
+  }
   auto handoff = std::make_shared<HandoffHeader>(
       env_.cell(), engine_.routes().exportRecords(env_.simulator().now()),
       hostTable_.exportEntries());
@@ -280,6 +328,11 @@ void GridProtocolBase::handOffTo(net::NodeId newGateway) {
 
 void GridProtocolBase::broadcastRetire(const geo::GridCoord& forGrid,
                                        std::vector<RouteRecord> table) {
+  mRetires_.add();
+  if (auto* tracer = obs::tracer(env_.simulator())) {
+    tracer->instant("grid", "retire", env_.id(),
+                    {{"gx", forGrid.x}, {"gy", forGrid.y}});
+  }
   auto retire = std::make_shared<RetireHeader>(forGrid, std::move(table));
   broadcastFrameRaw(retire);
 }
@@ -574,7 +627,8 @@ void GridProtocolBase::onCellChanged(const geo::GridCoord& from,
         // we are its gateway now (paper §3.2).
         awaitingGatewayAssessment_ = false;
         becomeGateway();
-      });
+      },
+      "proto/newcomer");
 }
 
 // --------------------------------------------------------------------------

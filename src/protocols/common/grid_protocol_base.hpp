@@ -25,6 +25,7 @@
 
 #include "net/host_env.hpp"
 #include "net/routing_protocol.hpp"
+#include "obs/metrics.hpp"
 #include "protocols/common/election.hpp"
 #include "protocols/common/messages.hpp"
 #include "protocols/common/routing_engine.hpp"
@@ -178,6 +179,12 @@ class GridProtocolBase : public net::RoutingProtocol {
   bool graceRouting_ = false;
 
  private:
+  /// Open an election-round trace span (and count the round). Safe to
+  /// call with a round already open: no-op until decideElection closes it.
+  void beginElectionRound();
+  /// Close the open election-round span, if any, recording the outcome.
+  void endElectionRound(bool won);
+
   void helloTick();
   void decideElection();
   void handleHello(const net::Packet& frame, const HelloHeader& hello);
@@ -189,6 +196,14 @@ class GridProtocolBase : public net::RoutingProtocol {
   std::vector<Candidate> freshCandidates(sim::Time window);
   void handOffTo(net::NodeId newGateway);
   RoutingEngine::Hooks makeHooks();
+
+  // Observability (inert without a hub; see obs/observability.hpp).
+  obs::Counter mElectionsStarted_;
+  obs::Counter mElectionsWon_;
+  obs::Counter mRetires_;
+  obs::Counter mHandoffs_;
+  std::uint32_t electionSeq_ = 0;   ///< per-host round number (span ids)
+  std::uint64_t openElectionSpan_ = 0;  ///< 0 = no round in flight
 };
 
 }  // namespace ecgrid::protocols

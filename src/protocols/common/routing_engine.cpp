@@ -1,5 +1,6 @@
 #include "protocols/common/routing_engine.hpp"
 
+#include "obs/observability.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -7,7 +8,14 @@ namespace ecgrid::protocols {
 
 namespace {
 constexpr const char* kTag = "route";
+
+/// Span id correlating one router's discovery for one destination.
+std::uint64_t discoverySpanId(net::NodeId router, net::NodeId destination) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(router))
+          << 32) |
+         static_cast<std::uint32_t>(destination);
 }
+}  // namespace
 
 RoutingEngine::RoutingEngine(net::HostEnv& env, Hooks hooks,
                              const RoutingConfig& config)
@@ -17,7 +25,18 @@ RoutingEngine::RoutingEngine(net::HostEnv& env, Hooks hooks,
       routes_(config.routeLifetime),
       reverse_(config.routeLifetime),
       rreqCache_(config.rreqCacheHorizon),
-      rng_(env.simulator().rng().stream("routing", env.id())) {
+      rng_(env.simulator().rng().stream("routing", env.id())),
+      mDataForwarded_(obs::counter(env.simulator(), "routing.data_forwarded")),
+      mDataDeliveredLocal_(
+          obs::counter(env.simulator(), "routing.data_delivered_local")),
+      mDataDropped_(obs::counter(env.simulator(), "routing.data_dropped")),
+      mRreqsSent_(obs::counter(env.simulator(), "routing.rreqs_sent")),
+      mRrepsSent_(obs::counter(env.simulator(), "routing.rreps_sent")),
+      mRerrsSent_(obs::counter(env.simulator(), "routing.rerrs_sent")),
+      mDiscoveriesStarted_(
+          obs::counter(env.simulator(), "routing.discoveries_started")),
+      mDiscoveriesFailed_(
+          obs::counter(env.simulator(), "routing.discoveries_failed")) {
   ECGRID_REQUIRE(hooks_.isRouter && hooks_.routerOf && hooks_.hostIsLocal &&
                      hooks_.deliverLocal && hooks_.locationHint,
                  "all routing hooks are required");
@@ -81,6 +100,7 @@ void RoutingEngine::routeData(const net::Packet& frame,
 
   if (dst == env_.id() || hooks_.hostIsLocal(dst)) {
     ++stats_.dataDeliveredLocal;
+    mDataDeliveredLocal_.add();
     ECGRID_LOG_TRACE(kTag, "t=" << now << " node " << env_.id() << " @"
                                 << env_.cell() << " local-deliver "
                                 << data.describe());
@@ -90,6 +110,7 @@ void RoutingEngine::routeData(const net::Packet& frame,
   if (!hooks_.isRouter()) {
     // Non-router hosts never carry transit traffic.
     ++stats_.dataDropped;
+    mDataDropped_.add();
     ECGRID_LOG_TRACE(kTag, "t=" << now << " node " << env_.id()
                                 << " non-router drop " << data.describe());
     return;
@@ -104,6 +125,7 @@ void RoutingEngine::routeData(const net::Packet& frame,
                                   << data.describe() << " -> grid "
                                   << route->nextGrid);
       ++stats_.dataForwarded;
+      mDataForwarded_.add();
       routes_.refresh(dst, now);
       reverse_.refresh(data.appSrc(), now);
       return;
@@ -122,6 +144,7 @@ void RoutingEngine::routeData(const net::Packet& frame,
       it->second.pendingData.push_back(frame);
     } else {
       ++stats_.dataDropped;
+      mDataDropped_.add();
     }
     return;
   }
@@ -131,6 +154,11 @@ void RoutingEngine::routeData(const net::Packet& frame,
 void RoutingEngine::startDiscovery(net::NodeId destination,
                                    const net::Packet& firstData) {
   ++stats_.discoveriesStarted;
+  mDiscoveriesStarted_.add();
+  if (auto* tracer = obs::tracer(env_.simulator())) {
+    tracer->begin("route", "discovery", discoverySpanId(env_.id(), destination),
+                  env_.id(), {{"dst", destination}});
+  }
   Discovery& discovery = discoveries_[destination];
   discovery.attempts = 0;
   discovery.pendingData.push_back(firstData);
@@ -161,13 +189,19 @@ void RoutingEngine::sendRreqAttempt(net::NodeId destination,
       static_cast<std::uint32_t>(rng_.raw()), range, env_.cell(),
       env_.position(), /*hopCount=*/0);
   ++stats_.rreqsSent;
+  mRreqsSent_.add();
+  if (auto* tracer = obs::tracer(env_.simulator())) {
+    tracer->instant("route", "rreq", env_.id(),
+                    {{"dst", destination}, {"attempt", discovery.attempts}});
+  }
   ECGRID_LOG_DEBUG(kTag, "node " << env_.id() << " RREQ for " << destination
                                  << " attempt " << discovery.attempts);
   broadcastFrame(rreq);
 
   discovery.timeout = env_.simulator().schedule(
       config_.rrepTimeout,
-      [this, destination] { onDiscoveryTimeout(destination); });
+      [this, destination] { onDiscoveryTimeout(destination); },
+      "route/discovery_timeout");
 }
 
 void RoutingEngine::onDiscoveryTimeout(net::NodeId destination) {
@@ -183,6 +217,10 @@ void RoutingEngine::onDiscoveryTimeout(net::NodeId destination) {
 void RoutingEngine::completeDiscovery(net::NodeId destination) {
   auto it = discoveries_.find(destination);
   if (it == discoveries_.end()) return;
+  if (auto* tracer = obs::tracer(env_.simulator())) {
+    tracer->end("route", "discovery", discoverySpanId(env_.id(), destination),
+                env_.id(), {{"found", 1}});
+  }
   it->second.timeout.cancel();
   std::deque<net::Packet> pending = std::move(it->second.pendingData);
   discoveries_.erase(it);
@@ -197,10 +235,16 @@ void RoutingEngine::failDiscovery(net::NodeId destination) {
   auto it = discoveries_.find(destination);
   if (it == discoveries_.end()) return;
   ++stats_.discoveriesFailed;
+  mDiscoveriesFailed_.add();
+  if (auto* tracer = obs::tracer(env_.simulator())) {
+    tracer->end("route", "discovery", discoverySpanId(env_.id(), destination),
+                env_.id(), {{"found", 0}});
+  }
   it->second.timeout.cancel();
   for (const net::Packet& frame : it->second.pendingData) {
     (void)frame;
     ++stats_.dataDropped;
+    mDataDropped_.add();
   }
   discoveries_.erase(it);
   ECGRID_LOG_DEBUG(kTag, "node " << env_.id() << " discovery for "
@@ -273,6 +317,11 @@ void RoutingEngine::replyAsDestinationSide(const RreqHeader& rreq) {
                                            seq, env_.cell(), env_.cell(),
                                            env_.position(), /*hopCount=*/0);
   ++stats_.rrepsSent;
+  mRrepsSent_.add();
+  if (auto* tracer = obs::tracer(env_.simulator())) {
+    tracer->instant("route", "rrep", env_.id(),
+                    {{"src", rreq.source()}, {"dst", rreq.destination()}});
+  }
 
   auto reverse = reverse_.lookup(rreq.source(), now);
   if (!reverse.has_value()) return;  // reverse path already gone
@@ -324,6 +373,11 @@ void RoutingEngine::sendRerrTowards(net::NodeId source, net::NodeId destination,
   auto reverse = reverse_.lookup(source, now);
   if (!reverse.has_value()) return;
   ++stats_.rerrsSent;
+  mRerrsSent_.add();
+  if (auto* tracer = obs::tracer(env_.simulator())) {
+    tracer->instant("route", "rerr", env_.id(),
+                    {{"src", source}, {"dst", destination}});
+  }
   auto rerr =
       std::make_shared<RerrHeader>(source, destination, destSeq, env_.cell());
   unicastToGridRouter(reverse->nextGrid, rerr, 0, reverse->nextHop);
@@ -343,6 +397,11 @@ void RoutingEngine::stopRouting() {
   for (auto& [dst, discovery] : discoveries_) {
     discovery.timeout.cancel();
     stats_.dataDropped += discovery.pendingData.size();
+    mDataDropped_.add(discovery.pendingData.size());
+    if (auto* tracer = obs::tracer(env_.simulator())) {
+      tracer->end("route", "discovery", discoverySpanId(env_.id(), dst),
+                  env_.id(), {{"found", 0}, {"reason", "stop_routing"}});
+    }
   }
   discoveries_.clear();
 }

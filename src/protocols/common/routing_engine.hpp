@@ -27,6 +27,7 @@
 
 #include "geo/rect.hpp"
 #include "net/host_env.hpp"
+#include "obs/metrics.hpp"
 #include "protocols/common/messages.hpp"
 #include "protocols/common/routing_table.hpp"
 #include "protocols/common/tables.hpp"
@@ -156,6 +157,16 @@ class RoutingEngine {
   sim::RngStream rng_;
   SeqNo sourceSeq_ = 0;
   RoutingStats stats_;
+  // Registry mirrors of stats_ (inert without an Observability hub; see
+  // obs/observability.hpp). Shared across engines on the simulator.
+  obs::Counter mDataForwarded_;
+  obs::Counter mDataDeliveredLocal_;
+  obs::Counter mDataDropped_;
+  obs::Counter mRreqsSent_;
+  obs::Counter mRrepsSent_;
+  obs::Counter mRerrsSent_;
+  obs::Counter mDiscoveriesStarted_;
+  obs::Counter mDiscoveriesFailed_;
 };
 
 }  // namespace ecgrid::protocols

@@ -20,6 +20,7 @@ void EventQueue::freeSlot(std::uint32_t index) {
   Slot& slot = slots_[index];
   slot.live = false;
   slot.cancelled = false;
+  slot.label = nullptr;
   slot.action = nullptr;
   // Bump the generation on free so stale handles can never alias a record
   // that reuses this slot.
@@ -28,13 +29,15 @@ void EventQueue::freeSlot(std::uint32_t index) {
   freeHead_ = index;
 }
 
-EventHandle EventQueue::push(Time time, std::function<void()> action) {
+EventHandle EventQueue::push(Time time, std::function<void()> action,
+                             const char* label) {
   ECGRID_REQUIRE(action != nullptr, "event action must be callable");
   std::uint32_t index = allocSlot();
   Slot& slot = slots_[index];
   slot.time = time;
   slot.live = true;
   slot.cancelled = false;
+  slot.label = label;
   slot.action = std::move(action);
   const std::uint64_t sequence = nextSequence_++;
   const std::uint64_t tieKey = tieBreakRng_ ? tieBreakRng_->raw() : sequence;
@@ -82,6 +85,12 @@ void EventQueue::skipCancelled() {
 }
 
 bool EventQueue::pop(Time& time, std::function<void()>& action) {
+  const char* label = nullptr;
+  return pop(time, action, label);
+}
+
+bool EventQueue::pop(Time& time, std::function<void()>& action,
+                     const char*& label) {
   // The previous event's record outlived its execution (see header); now
   // that the caller is back for the next event, recycle it.
   if (executing_ != kNoSlot) {
@@ -95,6 +104,7 @@ bool EventQueue::pop(Time& time, std::function<void()>& action) {
   time = slot.time;
   action = std::move(slot.action);
   slot.action = nullptr;
+  label = slot.label;
   removeHeapTop();
   executing_ = index;
   return true;

@@ -65,7 +65,11 @@ class EventQueue {
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
-  EventHandle push(Time time, std::function<void()> action);
+  /// `label` is an optional schedule-site tag for the execution profiler
+  /// (see Simulator::schedule); it must point at storage outliving the
+  /// queue — in practice a string literal.
+  EventHandle push(Time time, std::function<void()> action,
+                   const char* label = nullptr);
 
   /// Determinism-analysis debug mode (src/check): replace the insertion-
   /// sequence tie-break among equal-time events with random keys drawn
@@ -83,6 +87,9 @@ class EventQueue {
   /// queue is empty. The event's slot is recycled on the *next* pop, so
   /// handles to it stay pending() while the caller runs the action.
   bool pop(Time& time, std::function<void()>& action);
+  /// As above, also reporting the event's schedule-site label (nullptr
+  /// when the push site gave none).
+  bool pop(Time& time, std::function<void()>& action, const char*& label);
 
   /// Time of the next live event, or kTimeNever if empty.
   Time peekTime();
@@ -101,6 +108,7 @@ class EventQueue {
     std::uint32_t generation = 0;
     bool live = false;       ///< allocated: queued or currently executing
     bool cancelled = false;
+    const char* label = nullptr;  ///< schedule-site tag (static storage)
     std::function<void()> action;
     std::uint32_t nextFree = kNoSlot;
   };

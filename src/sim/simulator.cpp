@@ -1,19 +1,24 @@
 #include "sim/simulator.hpp"
 
+#include <chrono>  // ecgrid-lint: allow(banned-random)
+
+#include "sim/probe.hpp"
 #include "util/error.hpp"
 
 namespace ecgrid::sim {
 
 Simulator::Simulator(std::uint64_t masterSeed) : rngFactory_(masterSeed) {}
 
-EventHandle Simulator::schedule(Time delay, std::function<void()> action) {
+EventHandle Simulator::schedule(Time delay, std::function<void()> action,
+                                const char* label) {
   ECGRID_REQUIRE(delay >= 0.0, "cannot schedule into the past");
-  return queue_.push(now_ + delay, std::move(action));
+  return queue_.push(now_ + delay, std::move(action), label);
 }
 
-EventHandle Simulator::scheduleAt(Time when, std::function<void()> action) {
+EventHandle Simulator::scheduleAt(Time when, std::function<void()> action,
+                                  const char* label) {
   ECGRID_REQUIRE(when >= now_, "cannot schedule into the past");
-  return queue_.push(when, std::move(action));
+  return queue_.push(when, std::move(action), label);
 }
 
 void Simulator::setPeriodicHook(std::uint64_t everyEvents,
@@ -28,10 +33,27 @@ bool Simulator::step(Time until) {
   if (queue_.peekTime() > until) return false;
   Time time = kTimeZero;
   std::function<void()> action;
-  if (!queue_.pop(time, action)) return false;
+  const char* label = nullptr;
+  if (!queue_.pop(time, action, label)) return false;
   now_ = time;
   ++eventsExecuted_;
-  action();
+  if (probe_ != nullptr) {
+    // Wall-clock attribution for the profiler. Reporting-only: wall time
+    // never feeds the simulation, and without a probe installed no clock
+    // is ever read — hence the lint suppressions, same as the bench
+    // timers in bench/bench_support.hpp.
+    // ecgrid-lint: allow(banned-random)
+    const auto wallStart = std::chrono::steady_clock::now();
+    action();
+    // ecgrid-lint: allow(banned-random)
+    const auto wallEnd = std::chrono::steady_clock::now();
+    const double wallSeconds =
+        std::chrono::duration<double>(wallEnd - wallStart).count();
+    probe_->onEvent(label, wallSeconds, now_, eventsExecuted_,
+                    queue_.sizeIncludingCancelled());
+  } else {
+    action();
+  }
   if (hook_ && eventsExecuted_ % hookEvery_ == 0) hook_();
   return true;
 }

@@ -5,6 +5,13 @@
 // streams. There is deliberately no global/singleton instance: benches run
 // many simulations sequentially (and tests run them concurrently), each
 // with its own Simulator.
+//
+// Observability (src/obs) attaches here without the sim layer depending on
+// it: the harness installs an opaque Observability hub pointer that
+// components resolve through obs/observability.hpp, and an optional
+// ExecutionProbe (sim/probe.hpp) that step() feeds per-event wall-clock
+// attribution. Both are passive — with neither installed the simulator
+// behaves and performs exactly as before.
 #pragma once
 
 #include <cstdint>
@@ -14,8 +21,15 @@
 #include "sim/event.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
+#include "util/log.hpp"
+
+namespace ecgrid::obs {
+class Observability;
+}
 
 namespace ecgrid::sim {
+
+class ExecutionProbe;
 
 class Simulator {
  public:
@@ -28,10 +42,16 @@ class Simulator {
   Time now() const { return now_; }
 
   /// Schedule `action` to run `delay` seconds from now (delay >= 0).
-  EventHandle schedule(Time delay, std::function<void()> action);
+  /// `label` optionally tags the schedule site for the execution profiler
+  /// ("mac/access", "phy/deliver", ...); it must be a string literal (or
+  /// other storage outliving the simulator) — nullptr is fine and costs
+  /// nothing.
+  EventHandle schedule(Time delay, std::function<void()> action,
+                       const char* label = nullptr);
 
   /// Schedule `action` at absolute time `when` (when >= now()).
-  EventHandle scheduleAt(Time when, std::function<void()> action);
+  EventHandle scheduleAt(Time when, std::function<void()> action,
+                         const char* label = nullptr);
 
   /// Run events until the queue drains or the clock passes `until`.
   /// Events scheduled exactly at `until` are executed.
@@ -67,6 +87,19 @@ class Simulator {
   /// should not schedule events. Pass an empty function to uninstall.
   void setPeriodicHook(std::uint64_t everyEvents, std::function<void()> hook);
 
+  /// Opaque observability hub (src/obs). The simulator never dereferences
+  /// it; components resolve metrics/tracing through obs/observability.hpp.
+  /// Install before constructing components so their construction-time
+  /// instrument registration sees the hub. nullptr uninstalls.
+  void setObservability(obs::Observability* hub) { observability_ = hub; }
+  obs::Observability* observability() const { return observability_; }
+
+  /// Per-event execution probe (opt-in profiling; see sim/probe.hpp).
+  /// With a probe installed every event's callback is wall-clock timed.
+  /// nullptr uninstalls.
+  void setExecutionProbe(ExecutionProbe* probe) { probe_ = probe; }
+  ExecutionProbe* executionProbe() const { return probe_; }
+
   const RngFactory& rng() const { return rngFactory_; }
 
  private:
@@ -77,6 +110,11 @@ class Simulator {
   std::function<void()> hook_;
   EventQueue queue_;
   RngFactory rngFactory_;
+  obs::Observability* observability_ = nullptr;
+  ExecutionProbe* probe_ = nullptr;
+  /// While this simulator exists, log lines on its thread are prefixed
+  /// with the current sim time (declared after now_; reads &now_).
+  util::LogSimClock logClock_{&now_};
 };
 
 }  // namespace ecgrid::sim

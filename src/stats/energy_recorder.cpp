@@ -20,12 +20,14 @@ EnergyRecorder::EnergyRecorder(net::Network& network, sim::Time interval,
     });
   }
   sample();
-  timer_ = network_.simulator().schedule(interval_, [this] { tick(); });
+  timer_ = network_.simulator().schedule(interval_, [this] { tick(); },
+                                         "stats/sample");
 }
 
 void EnergyRecorder::tick() {
   sample();
-  timer_ = network_.simulator().schedule(interval_, [this] { tick(); });
+  timer_ = network_.simulator().schedule(interval_, [this] { tick(); },
+                                         "stats/sample");
 }
 
 void EnergyRecorder::sample() {

@@ -1,5 +1,7 @@
 #include "stats/trace_recorder.hpp"
 
+#include <optional>
+
 #include "protocols/common/grid_protocol_base.hpp"
 #include "protocols/gaf/gaf_protocol.hpp"
 #include "util/error.hpp"
@@ -11,8 +13,13 @@ TraceRecorder::TraceRecorder(net::Network& network, sim::Time interval,
     : network_(network), interval_(interval), out_(path) {
   ECGRID_REQUIRE(interval > 0.0, "trace interval must be positive");
   ECGRID_REQUIRE(out_.good(), "cannot open trace output: " + path);
+  // Schema header (not counted in linesWritten): lets tools/trace_check.py
+  // distinguish state traces from event traces and version the columns.
+  out_ << "{\"schema\":\"ecgrid-state\",\"version\":2,\"interval\":" << interval_
+       << "}\n";
   sample();
-  timer_ = network_.simulator().schedule(interval_, [this] { tick(); });
+  timer_ = network_.simulator().schedule(interval_, [this] { tick(); },
+                                         "stats/trace");
 }
 
 TraceRecorder::~TraceRecorder() {
@@ -22,7 +29,8 @@ TraceRecorder::~TraceRecorder() {
 
 void TraceRecorder::tick() {
   sample();
-  timer_ = network_.simulator().schedule(interval_, [this] { tick(); });
+  timer_ = network_.simulator().schedule(interval_, [this] { tick(); },
+                                         "stats/trace");
 }
 
 void TraceRecorder::sample() {
@@ -30,10 +38,12 @@ void TraceRecorder::sample() {
   for (auto& node : network_.nodes()) {
     bool alive = node->alive();
     bool gateway = false;
+    std::optional<geo::GridCoord> served;
     if (alive) {
       if (auto* base = dynamic_cast<protocols::GridProtocolBase*>(
               &node->protocol())) {
         gateway = base->isGateway();
+        if (gateway) served = base->servedGrid();
       } else if (auto* gaf = dynamic_cast<protocols::GafProtocol*>(
                      &node->protocol())) {
         gateway = gaf->isLeader();
@@ -52,7 +62,14 @@ void TraceRecorder::sample() {
          << ",\"gateway\":" << (gateway ? "true" : "false")
          << ",\"cell_x\":" << cell.x << ",\"cell_y\":" << cell.y
          << ",\"battery\":" << node->batteryRef().remainingRatio(now)
-         << ",\"gps_err\":" << node->gpsError().length() << "}\n";
+         << ",\"gps_err\":" << node->gpsError().length();
+    // v2: gateways report the grid they serve. Under GPS error (or during
+    // a hand-off race) this can differ from cell_x/cell_y — exactly the
+    // frames a viewer should highlight.
+    if (served) {
+      out_ << ",\"served_x\":" << served->x << ",\"served_y\":" << served->y;
+    }
+    out_ << "}\n";
     ++lines_;
   }
 }

@@ -4,17 +4,24 @@
 // fixed interval and appends one JSON object per host per sample to a
 // JSON-Lines file. The format is deliberately flat so a ten-line Python
 // script (or jq) can animate gateway hand-offs, sleep coverage, and death
-// waves:
+// waves. The file opens with a schema header line
+//
+//   {"schema":"ecgrid-state","version":2,"interval":5}
+//
+// followed by one record per host per sample:
 //
 //   {"t":120.0,"id":17,"x":431.2,"y":87.9,"alive":true,"crashed":false,
 //    "sleeping":false,"gateway":true,"cell_x":4,"cell_y":0,
-//    "battery":0.73,"gps_err":0}
+//    "battery":0.73,"gps_err":0,"served_x":4,"served_y":0}
 //
 // x/y (and cell_x/cell_y) are ground truth; under an injected GPS fault
 // the host itself may believe a different cell, and `gps_err` carries the
-// magnitude of its position error. `crashed` distinguishes an injected
-// host failure (battery frozen, may restart) from battery death
-// (`alive` false, `crashed` false).
+// magnitude of its position error. `served_x`/`served_y` (v2, gateways
+// only) is the grid the gateway *believes* it serves — highlight frames
+// where it differs from cell_x/cell_y. `crashed` distinguishes an
+// injected host failure (battery frozen, may restart) from battery death
+// (`alive` false, `crashed` false). tools/trace_check.py validates the
+// format.
 #pragma once
 
 #include <fstream>

@@ -13,7 +13,7 @@ CbrSource::CbrSource(sim::Simulator& sim, net::Node& sourceNode,
                  "flow endpoints must differ");
   sim::Time firstAt =
       config_.startTime > sim_.now() ? config_.startTime : sim_.now();
-  timer_ = sim_.scheduleAt(firstAt, [this] { tick(); });
+  timer_ = sim_.scheduleAt(firstAt, [this] { tick(); }, "traffic/cbr");
 }
 
 void CbrSource::tick() {
@@ -28,7 +28,8 @@ void CbrSource::tick() {
     tag.sentAt = sim_.now();
     node_.sendFromApp(config_.destination, config_.payloadBytes, tag);
   }
-  timer_ = sim_.schedule(1.0 / config_.packetsPerSecond, [this] { tick(); });
+  timer_ = sim_.schedule(1.0 / config_.packetsPerSecond,
+                         [this] { tick(); }, "traffic/cbr");
 }
 
 }  // namespace ecgrid::traffic

@@ -1,16 +1,68 @@
 #include "util/log.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <map>
+#include <mutex>
 
 namespace ecgrid::util {
 
 namespace {
 
+/// Per-component level overrides, shared across threads (the global
+/// logger is process-wide); guarded by a mutex with an atomic "any
+/// overrides at all?" fast path so the common no-override case costs one
+/// relaxed load.
+struct Overrides {
+  std::mutex mutex;
+  std::map<std::string, int> byTag;
+  std::atomic<bool> any{false};
+};
+
+Overrides& overridesStorage() {
+  static Overrides storage;
+  return storage;
+}
+
+/// Thread-local simulation clock for line prefixes (see LogSimClock).
+const double*& simClockSlot() {
+  thread_local const double* clock = nullptr;
+  return clock;
+}
+
+/// Parse a spec ("info,mac=debug") into the global level + overrides.
+/// Shared by Logger::configure and the one-time ECGRID_LOG read. `base`
+/// is the level to keep when the spec names no bare level token; passed
+/// in (not read via Logger::level()) so the ECGRID_LOG path cannot
+/// recurse into levelStorage()'s own initialization.
+int applySpec(const std::string& spec, int base) {
+  Overrides& overrides = overridesStorage();
+  std::lock_guard<std::mutex> lock(overrides.mutex);
+  overrides.byTag.clear();
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string token = spec.substr(start, comma - start);
+    start = comma + 1;
+    if (token.empty()) continue;
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      base = static_cast<int>(Logger::parseLevel(token));
+    } else {
+      overrides.byTag[token.substr(0, eq)] =
+          static_cast<int>(Logger::parseLevel(token.substr(eq + 1)));
+    }
+  }
+  overrides.any.store(!overrides.byTag.empty(), std::memory_order_relaxed);
+  return base;
+}
+
 int initialLevelFromEnv() {
   const char* env = std::getenv("ECGRID_LOG");
   if (env == nullptr) return static_cast<int>(LogLevel::kOff);
-  return static_cast<int>(Logger::parseLevel(env));
+  return applySpec(env, static_cast<int>(LogLevel::kOff));
 }
 
 const char* levelName(LogLevel lvl) {
@@ -46,8 +98,32 @@ void Logger::setLevel(LogLevel level) {
   levelStorage().store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
+void Logger::configure(const std::string& spec) {
+  const int base = levelStorage().load(std::memory_order_relaxed);
+  levelStorage().store(applySpec(spec, base), std::memory_order_relaxed);
+}
+
+bool Logger::hasOverrides() {
+  return overridesStorage().any.load(std::memory_order_relaxed);
+}
+
+LogLevel Logger::levelFor(const char* tag) {
+  if (!hasOverrides()) return level();
+  Overrides& overrides = overridesStorage();
+  std::lock_guard<std::mutex> lock(overrides.mutex);
+  auto it = overrides.byTag.find(tag);
+  return it != overrides.byTag.end() ? static_cast<LogLevel>(it->second)
+                                     : level();
+}
+
 void Logger::write(LogLevel level, const std::string& tag,
                    const std::string& message) {
+  const double* clock = simClockSlot();
+  if (clock != nullptr) {
+    char prefix[40];
+    std::snprintf(prefix, sizeof(prefix), "[t=%.6f] ", *clock);
+    std::cerr << prefix;
+  }
   std::cerr << "[" << levelName(level) << "] [" << tag << "] " << message
             << "\n";
 }
@@ -60,5 +136,11 @@ LogLevel Logger::parseLevel(const std::string& text) {
   if (text == "trace" || text == "5") return LogLevel::kTrace;
   return LogLevel::kOff;
 }
+
+LogSimClock::LogSimClock(const double* now) : previous_(simClockSlot()) {
+  simClockSlot() = now;
+}
+
+LogSimClock::~LogSimClock() { simClockSlot() = previous_; }
 
 }  // namespace ecgrid::util

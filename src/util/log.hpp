@@ -2,12 +2,23 @@
 //
 // Logging is opt-in and cheap when disabled: each macro checks an atomic
 // level before building the message. The level can be set programmatically
-// (Logger::setLevel) or via the ECGRID_LOG environment variable
-// ("error" | "warn" | "info" | "debug" | "trace"), read once at startup.
+// (Logger::setLevel / Logger::configure) or via the ECGRID_LOG environment
+// variable, read once at startup.
+//
+// A configuration is either a plain level ("error" | "warn" | "info" |
+// "debug" | "trace") or a spec with per-component overrides, e.g.
+// "info,mac=debug,route=trace": the bare token sets the global level and
+// each tag=level pair raises (or lowers) one component's threshold. The
+// example binaries expose this as --log=<spec> through util/flags.
+//
+// While a Simulator exists on the current thread, every line is prefixed
+// with the current simulation time ("[t=12.004103] ...") so debug logs
+// line up with event traces (src/obs). Without one — unit tests, startup
+// code — the prefix is omitted and the classic format is unchanged.
 //
 // Log lines carry the simulation component tag and are intended for humans
 // debugging protocol behaviour, not for machine consumption — metrics go
-// through ecgrid::stats instead.
+// through ecgrid::obs / ecgrid::stats instead.
 #pragma once
 
 #include <atomic>
@@ -31,7 +42,22 @@ class Logger {
   static LogLevel level();
   static void setLevel(LogLevel level);
 
-  /// Emit one line to stderr: "[level] [tag] message".
+  /// Apply a spec: "debug" or "info,mac=debug,route=trace". A bare level
+  /// token sets the global level; tag=level pairs become per-component
+  /// overrides. Previous overrides are cleared first; an empty spec just
+  /// clears them. Unknown level names map to kOff, as in parseLevel.
+  static void configure(const std::string& spec);
+
+  /// Effective threshold for one component tag (its override, or the
+  /// global level when none is set).
+  static LogLevel levelFor(const char* tag);
+
+  /// True when any per-component override is configured (fast atomic
+  /// read; lets the enabled check skip the override lookup entirely).
+  static bool hasOverrides();
+
+  /// Emit one line to stderr: "[level] [tag] message", prefixed with
+  /// "[t=<sim time>] " while a Simulator exists on this thread.
   static void write(LogLevel level, const std::string& tag,
                     const std::string& message);
 
@@ -42,15 +68,38 @@ class Logger {
   static std::atomic<int>& levelStorage();
 };
 
+/// RAII registration of a simulation clock for log-line prefixes. The
+/// Simulator holds one pointing at its internal clock; registration is
+/// thread-local (each parallel bench worker runs its own simulator), and
+/// the previous clock — normally none — is restored on destruction.
+class LogSimClock {
+ public:
+  explicit LogSimClock(const double* now);
+  ~LogSimClock();
+  LogSimClock(const LogSimClock&) = delete;
+  LogSimClock& operator=(const LogSimClock&) = delete;
+
+ private:
+  const double* previous_;
+};
+
 inline bool logEnabled(LogLevel lvl) {
   return static_cast<int>(lvl) <= static_cast<int>(Logger::level());
+}
+
+/// Component-aware check: global level first (one atomic read, the common
+/// path), then the per-tag override table only when one exists.
+inline bool logEnabled(LogLevel lvl, const char* tag) {
+  if (static_cast<int>(lvl) <= static_cast<int>(Logger::level())) return true;
+  return Logger::hasOverrides() &&
+         static_cast<int>(lvl) <= static_cast<int>(Logger::levelFor(tag));
 }
 
 }  // namespace ecgrid::util
 
 #define ECGRID_LOG_AT(lvl, tag, expr)                            \
   do {                                                           \
-    if (::ecgrid::util::logEnabled(lvl)) {                       \
+    if (::ecgrid::util::logEnabled(lvl, tag)) {                  \
       std::ostringstream ecgrid_log_os;                          \
       ecgrid_log_os << expr;                                     \
       ::ecgrid::util::Logger::write(lvl, tag,                    \

@@ -5,14 +5,19 @@
 
 #include <string>
 
+#include "sim/simulator.hpp"
+
 namespace ecgrid::util {
 namespace {
 
-// The level is process-global; every test restores kOff so the rest of
-// the suite stays silent.
+// The level and overrides are process-global; every test restores the
+// silent default so the rest of the suite stays quiet.
 class LogTest : public ::testing::Test {
  protected:
-  void TearDown() override { Logger::setLevel(LogLevel::kOff); }
+  void TearDown() override {
+    Logger::configure("");  // clears per-component overrides
+    Logger::setLevel(LogLevel::kOff);
+  }
 };
 
 TEST_F(LogTest, ParseLevelAcceptsNamesAndDigits) {
@@ -86,6 +91,57 @@ TEST_F(LogTest, MacroStreamsMixedExpressions) {
   ECGRID_LOG_INFO("node/7", "seq=" << 42 << " at " << 1.5 << "s");
   std::string out = ::testing::internal::GetCapturedStderr();
   EXPECT_NE(out.find("[info] [node/7] seq=42 at 1.5s"), std::string::npos);
+}
+
+TEST_F(LogTest, ConfigureAppliesGlobalAndPerComponentLevels) {
+  Logger::configure("info,mac=debug,route=trace");
+  EXPECT_EQ(Logger::level(), LogLevel::kInfo);
+  EXPECT_TRUE(Logger::hasOverrides());
+  EXPECT_EQ(Logger::levelFor("mac"), LogLevel::kDebug);
+  EXPECT_EQ(Logger::levelFor("route"), LogLevel::kTrace);
+  EXPECT_EQ(Logger::levelFor("phy"), LogLevel::kInfo);  // no override
+  EXPECT_TRUE(logEnabled(LogLevel::kDebug, "mac"));
+  EXPECT_FALSE(logEnabled(LogLevel::kDebug, "phy"));
+  EXPECT_TRUE(logEnabled(LogLevel::kInfo, "phy"));
+}
+
+TEST_F(LogTest, ReconfigureClearsPreviousOverrides) {
+  Logger::configure("info,mac=debug");
+  ASSERT_TRUE(Logger::hasOverrides());
+  Logger::configure("warn");
+  EXPECT_EQ(Logger::level(), LogLevel::kWarn);
+  EXPECT_FALSE(Logger::hasOverrides());
+  EXPECT_EQ(Logger::levelFor("mac"), LogLevel::kWarn);
+}
+
+TEST_F(LogTest, BareOverrideSpecKeepsGlobalLevel) {
+  Logger::setLevel(LogLevel::kError);
+  Logger::configure("mac=debug");
+  EXPECT_EQ(Logger::level(), LogLevel::kError);
+  EXPECT_EQ(Logger::levelFor("mac"), LogLevel::kDebug);
+}
+
+TEST_F(LogTest, PrefixesSimTimeWhileASimulatorIsAlive) {
+  Logger::setLevel(LogLevel::kInfo);
+  sim::Simulator simulator(1);
+  simulator.schedule(1.5, [] {
+    ECGRID_LOG_INFO("test", "mid-run line");
+  });
+  ::testing::internal::CaptureStderr();
+  simulator.run();
+  ECGRID_LOG_INFO("test", "post-run line");  // simulator still alive
+  std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[t=1.500000] [info] [test] mid-run line"),
+            std::string::npos);
+}
+
+TEST_F(LogTest, OmitsSimTimePrefixWithoutASimulator) {
+  Logger::setLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  ECGRID_LOG_INFO("test", "bare line");
+  std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[info] [test] bare line"), std::string::npos);
+  EXPECT_EQ(out.find("[t="), std::string::npos);
 }
 
 }  // namespace

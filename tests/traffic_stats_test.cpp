@@ -256,20 +256,33 @@ TEST(TraceRecorder, WritesOneJsonLinePerHostPerSample) {
   }
   std::ifstream in(path);
   std::string line;
+  // v2 opens with a schema header line, excluded from linesWritten().
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"schema\":\"ecgrid-state\""), std::string::npos);
+  EXPECT_NE(line.find("\"version\":2"), std::string::npos);
   int lines = 0;
   bool sawGateway = false;
   bool sawSleeper = false;
+  bool sawServed = false;
   while (std::getline(in, line)) {
     ++lines;
     EXPECT_EQ(line.front(), '{');
     EXPECT_EQ(line.back(), '}');
     EXPECT_NE(line.find("\"battery\":"), std::string::npos);
-    sawGateway |= line.find("\"gateway\":true") != std::string::npos;
+    bool gateway = line.find("\"gateway\":true") != std::string::npos;
+    sawGateway |= gateway;
     sawSleeper |= line.find("\"sleeping\":true") != std::string::npos;
+    // served_x/served_y appear on gateway records only.
+    bool served = line.find("\"served_x\":") != std::string::npos;
+    sawServed |= served;
+    if (served) {
+      EXPECT_TRUE(gateway);
+    }
   }
   EXPECT_EQ(lines, 12);
   EXPECT_TRUE(sawGateway);
   EXPECT_TRUE(sawSleeper);
+  EXPECT_TRUE(sawServed);
   std::filesystem::remove(path);
 }
 
