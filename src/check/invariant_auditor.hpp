@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "sim/time.hpp"
+#include "util/ownership.hpp"
 
 namespace ecgrid::check {
 
@@ -55,7 +56,7 @@ class AuditContext {
   sim::Time now_;
 };
 
-class InvariantAuditor {
+class ECGRID_DOMAIN_PER_SCENARIO InvariantAuditor {
  public:
   using AuditFn = std::function<void(AuditContext&)>;
 

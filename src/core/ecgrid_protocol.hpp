@@ -25,6 +25,7 @@
 #include <map>
 
 #include "protocols/common/grid_protocol_base.hpp"
+#include "util/ownership.hpp"
 
 namespace ecgrid::core {
 
@@ -57,7 +58,7 @@ struct EcgridConfig {
   EcgridConfig() { base.election.useBatteryLevel = true; }
 };
 
-class EcgridProtocol final : public protocols::GridProtocolBase {
+class ECGRID_DOMAIN_PER_HOST EcgridProtocol final : public protocols::GridProtocolBase {
  public:
   EcgridProtocol(net::HostEnv& env, const EcgridConfig& config);
 

@@ -12,6 +12,7 @@
 #include <limits>
 
 #include "sim/time.hpp"
+#include "util/ownership.hpp"
 
 namespace ecgrid::energy {
 
@@ -30,7 +31,7 @@ const char* toString(BatteryLevel level);
 /// upper > boundary > lower > dead (larger is better).
 int electionRank(BatteryLevel level);
 
-class Battery {
+class ECGRID_DOMAIN_PER_HOST Battery {
  public:
   /// A finite battery with `capacityJ` joules, initially full.
   explicit Battery(double capacityJ);

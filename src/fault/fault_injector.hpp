@@ -28,10 +28,11 @@
 #include "fault/fault_plan.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
+#include "util/ownership.hpp"
 
 namespace ecgrid::fault {
 
-class FaultInjector {
+class ECGRID_DOMAIN_PER_SCENARIO FaultInjector {
  public:
   FaultInjector(sim::Simulator& sim, net::Network& network,
                 const FaultPlan& plan);

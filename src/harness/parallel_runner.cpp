@@ -9,21 +9,29 @@
 namespace ecgrid::harness {
 
 std::vector<ScenarioResult> runScenariosParallel(
-    const std::vector<ScenarioConfig>& configs, unsigned jobs) {
+    const std::vector<ScenarioConfig>& configs, unsigned jobs,
+    std::vector<std::exception_ptr>& failures) {
   const std::size_t count = configs.size();
   std::vector<ScenarioResult> results(count);
+  failures.assign(count, nullptr);
 
   if (jobs <= 1 || count <= 1) {
     for (std::size_t i = 0; i < count; ++i) {
-      results[i] = runScenario(configs[i]);
+      try {
+        results[i] = runScenario(configs[i]);
+      } catch (...) {
+        failures[i] = std::current_exception();
+      }
     }
     return results;
   }
 
   const unsigned workers =
       static_cast<unsigned>(std::min<std::size_t>(jobs, count));
+  // Work distribution: one atomic ticket counter; each worker owns the
+  // results/failures slots whose tickets it drew, so writes never alias
+  // and the thread joins below publish them to the caller.
   std::atomic<std::size_t> next{0};
-  std::vector<std::exception_ptr> failures(count);
 
   auto worker = [&] {
     while (true) {
@@ -41,7 +49,14 @@ std::vector<ScenarioResult> runScenariosParallel(
   pool.reserve(workers);
   for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
+  return results;
+}
 
+std::vector<ScenarioResult> runScenariosParallel(
+    const std::vector<ScenarioConfig>& configs, unsigned jobs) {
+  std::vector<std::exception_ptr> failures;
+  std::vector<ScenarioResult> results =
+      runScenariosParallel(configs, jobs, failures);
   for (const std::exception_ptr& failure : failures) {
     if (failure) std::rethrow_exception(failure);
   }

@@ -1,15 +1,22 @@
 // Parallel execution of independent scenarios.
 //
 // runScenario() is a pure function of its config: every run builds its
-// own Simulator, Network, and RNG streams, and touches no global mutable
-// state (logging goes through an atomic level gate). Runs are therefore
-// embarrassingly parallel, and executing them on a thread pool yields
-// results bit-identical to the serial loop — results come back in input
-// order, so callers' output (tables, CSVs) cannot tell the difference.
-// The benches use this to spread a figure's (protocol × speed × seed)
-// sweep across ECGRID_BENCH_JOBS worker threads.
+// own Simulator, Network, and RNG streams (ECGRID_DOMAIN_PER_SCENARIO —
+// see util/ownership.hpp), and touches no global mutable state beyond
+// the thread-safe Logger. Runs are therefore embarrassingly parallel,
+// and executing them on a thread pool yields results bit-identical to
+// the serial loop — results come back in input order, so callers'
+// output (tables, CSVs) cannot tell the difference. The benches use
+// this to spread a figure's (protocol × speed × seed) sweep across
+// ECGRID_BENCH_JOBS worker threads.
+//
+// Shared state inside the pool is written at disjoint indices only:
+// workers claim input slots through one atomic counter and each writes
+// results[i]/failures[i] for the slots it claimed, so no lock (and no
+// capability annotation) is needed — the joins publish everything.
 #pragma once
 
+#include <exception>
 #include <vector>
 
 #include "harness/scenario.hpp"
@@ -23,5 +30,17 @@ namespace ecgrid::harness {
 /// after all workers have drained.
 std::vector<ScenarioResult> runScenariosParallel(
     const std::vector<ScenarioConfig>& configs, unsigned jobs);
+
+/// Failure-collecting variant: never rethrows scenario errors. Every
+/// config is attempted; `failures` is resized to the input size and
+/// failures[i] holds the exception thrown by config i (or nullptr), with
+/// results[i] left default-constructed on failure. Surviving results are
+/// byte-identical to what a fully-successful sweep produces for the same
+/// configs — one poisoned config cannot perturb its neighbours. This is
+/// the entry point for campaign-style runners that tolerate partial
+/// failure (ROADMAP item 3).
+std::vector<ScenarioResult> runScenariosParallel(
+    const std::vector<ScenarioConfig>& configs, unsigned jobs,
+    std::vector<std::exception_ptr>& failures);
 
 }  // namespace ecgrid::harness

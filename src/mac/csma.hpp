@@ -30,6 +30,7 @@
 #include "phy/radio.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
+#include "util/ownership.hpp"
 
 namespace ecgrid::mac {
 
@@ -59,7 +60,7 @@ struct CsmaConfig {
   std::size_t dedupWindow = 512;  ///< remembered (src, seq) pairs
 };
 
-class CsmaMac final : public net::LinkLayer {
+class ECGRID_DOMAIN_PER_HOST CsmaMac final : public net::LinkLayer {
  public:
   CsmaMac(sim::Simulator& sim, phy::Radio& radio, phy::Channel& channel,
           const CsmaConfig& config, sim::RngStream rng);

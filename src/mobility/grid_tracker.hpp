@@ -20,10 +20,11 @@
 #include "geo/grid.hpp"
 #include "mobility/mobility_model.hpp"
 #include "sim/simulator.hpp"
+#include "util/ownership.hpp"
 
 namespace ecgrid::mobility {
 
-class GridTracker {
+class ECGRID_DOMAIN_PER_HOST GridTracker {
  public:
   using CellChangeCallback =
       std::function<void(const geo::GridCoord& from, const geo::GridCoord& to)>;

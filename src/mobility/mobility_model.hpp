@@ -14,10 +14,11 @@
 #include "geo/grid.hpp"
 #include "geo/vec2.hpp"
 #include "sim/time.hpp"
+#include "util/ownership.hpp"
 
 namespace ecgrid::mobility {
 
-class MobilityModel {
+class ECGRID_DOMAIN_PER_HOST MobilityModel {
  public:
   virtual ~MobilityModel() = default;
 

@@ -9,6 +9,7 @@
 
 #include "mobility/mobility_model.hpp"
 #include "sim/rng.hpp"
+#include "util/ownership.hpp"
 
 namespace ecgrid::mobility {
 
@@ -19,7 +20,7 @@ struct RandomWalkConfig {
   double epoch = 20.0;       ///< seconds per heading
 };
 
-class RandomWalk final : public MobilityModel {
+class ECGRID_DOMAIN_PER_HOST RandomWalk final : public MobilityModel {
  public:
   RandomWalk(const RandomWalkConfig& config, sim::RngStream rng);
 

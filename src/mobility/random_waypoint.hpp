@@ -16,6 +16,7 @@
 
 #include "mobility/mobility_model.hpp"
 #include "sim/rng.hpp"
+#include "util/ownership.hpp"
 
 namespace ecgrid::mobility {
 
@@ -27,7 +28,7 @@ struct RandomWaypointConfig {
   double pauseTime = 0.0;       ///< seconds at each waypoint
 };
 
-class RandomWaypoint final : public MobilityModel {
+class ECGRID_DOMAIN_PER_HOST RandomWaypoint final : public MobilityModel {
  public:
   /// Starts at a uniformly random position, beginning with a pause leg of
   /// `config.pauseTime` (matching ns-2 setdest traces).

@@ -13,6 +13,7 @@
 #include "phy/channel.hpp"
 #include "phy/paging.hpp"
 #include "sim/simulator.hpp"
+#include "util/ownership.hpp"
 
 namespace ecgrid::net {
 
@@ -22,7 +23,7 @@ struct NetworkConfig {
   phy::PagingConfig paging;
 };
 
-class Network {
+class ECGRID_DOMAIN_PER_SCENARIO Network {
  public:
   Network(sim::Simulator& sim, const NetworkConfig& config);
 

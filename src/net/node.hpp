@@ -24,6 +24,7 @@
 #include "phy/paging.hpp"
 #include "phy/radio.hpp"
 #include "sim/simulator.hpp"
+#include "util/ownership.hpp"
 
 namespace ecgrid::net {
 
@@ -35,7 +36,7 @@ struct NodeConfig {
   mac::CsmaConfig macConfig;
 };
 
-class Node final : public HostEnv {
+class ECGRID_DOMAIN_PER_HOST Node final : public HostEnv {
  public:
   Node(sim::Simulator& sim, const geo::GridMap& grid, phy::Channel& channel,
        phy::PagingChannel& paging,

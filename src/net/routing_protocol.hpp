@@ -9,10 +9,11 @@
 #include "geo/grid.hpp"
 #include "net/host_env.hpp"
 #include "net/packet.hpp"
+#include "util/ownership.hpp"
 
 namespace ecgrid::net {
 
-class RoutingProtocol {
+class ECGRID_DOMAIN_PER_HOST RoutingProtocol {
  public:
   virtual ~RoutingProtocol() = default;
 

@@ -30,6 +30,7 @@
 #include <memory>
 #include <string>
 #include <vector>
+#include "util/ownership.hpp"
 
 namespace ecgrid::obs {
 
@@ -132,7 +133,7 @@ class Histogram {
 /// within [A-Za-z0-9_.-], so BenchReport serializes them unescaped.
 using MetricsSnapshot = std::map<std::string, double>;
 
-class MetricsRegistry {
+class ECGRID_DOMAIN_PER_SCENARIO MetricsRegistry {
  public:
   MetricsRegistry() = default;
   MetricsRegistry(const MetricsRegistry&) = delete;

@@ -28,10 +28,11 @@
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "sim/simulator.hpp"
+#include "util/ownership.hpp"
 
 namespace ecgrid::obs {
 
-class Observability {
+class ECGRID_DOMAIN_PER_SCENARIO Observability {
  public:
   explicit Observability(sim::Simulator& sim) : sim_(sim) {
     sim_.setObservability(this);

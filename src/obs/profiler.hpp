@@ -25,10 +25,11 @@
 
 #include "obs/metrics.hpp"
 #include "sim/probe.hpp"
+#include "util/ownership.hpp"
 
 namespace ecgrid::obs {
 
-class SimProfiler final : public sim::ExecutionProbe {
+class ECGRID_DOMAIN_PER_SCENARIO SimProfiler final : public sim::ExecutionProbe {
  public:
   /// Sample the queue size every `queueSampleEveryEvents` executed events
   /// (0 disables queue-depth sampling).

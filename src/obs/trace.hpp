@@ -30,6 +30,7 @@
 #include <string>
 
 #include "sim/simulator.hpp"
+#include "util/ownership.hpp"
 
 namespace ecgrid::obs {
 
@@ -64,7 +65,7 @@ struct TraceField {
   const char* stringValue = "";
 };
 
-class EventTracer {
+class ECGRID_DOMAIN_PER_SCENARIO EventTracer {
  public:
   /// Opens `path` (truncated) and writes the schema header line, extended
   /// with `meta` key/value pairs (run provenance: protocol, seed, ...).

@@ -25,6 +25,7 @@
 #include "obs/metrics.hpp"
 #include "phy/spatial_index.hpp"
 #include "sim/simulator.hpp"
+#include "util/ownership.hpp"
 
 namespace ecgrid::phy {
 
@@ -56,7 +57,7 @@ struct ChannelConfig {
   std::function<bool(net::NodeId sender, net::NodeId receiver)> deliveryFault;
 };
 
-class Channel {
+class ECGRID_DOMAIN_PER_SCENARIO Channel {
  public:
   Channel(sim::Simulator& sim, const ChannelConfig& config);
 

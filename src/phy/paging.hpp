@@ -22,6 +22,7 @@
 #include "net/host_env.hpp"
 #include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
+#include "util/ownership.hpp"
 
 namespace ecgrid::phy {
 
@@ -35,7 +36,7 @@ struct PagingConfig {
   std::function<bool(net::NodeId target)> pageLoss;
 };
 
-class PagingChannel {
+class ECGRID_DOMAIN_PER_SCENARIO PagingChannel {
  public:
   PagingChannel(sim::Simulator& sim, const PagingConfig& config);
 

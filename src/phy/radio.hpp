@@ -19,6 +19,7 @@
 #include "energy/power_profile.hpp"
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
+#include "util/ownership.hpp"
 
 namespace ecgrid::phy {
 
@@ -34,7 +35,7 @@ enum class RadioState {
 
 const char* toString(RadioState s);
 
-class Radio {
+class ECGRID_DOMAIN_PER_HOST Radio {
  public:
   /// `battery` and `sim` must outlive the radio. The radio starts Idle.
   Radio(sim::Simulator& sim, energy::Battery& battery,

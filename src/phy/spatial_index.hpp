@@ -22,10 +22,11 @@
 
 #include "geo/grid.hpp"
 #include "geo/vec2.hpp"
+#include "util/ownership.hpp"
 
 namespace ecgrid::phy {
 
-class SpatialIndex {
+class ECGRID_DOMAIN_PER_SCENARIO SpatialIndex {
  public:
   /// `cellSideMeters` must be positive (GridMap enforces this); callers
   /// pick it strictly larger than the effective radio reach.

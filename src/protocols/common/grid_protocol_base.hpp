@@ -31,6 +31,7 @@
 #include "protocols/common/routing_engine.hpp"
 #include "protocols/common/tables.hpp"
 #include "sim/rng.hpp"
+#include "util/ownership.hpp"
 
 namespace ecgrid::protocols {
 
@@ -49,7 +50,7 @@ struct GridProtocolConfig {
   std::function<std::optional<geo::GridCoord>(net::NodeId)> locationHint;
 };
 
-class GridProtocolBase : public net::RoutingProtocol {
+class ECGRID_DOMAIN_PER_HOST GridProtocolBase : public net::RoutingProtocol {
  public:
   enum class Role {
     kUndecided,  ///< collecting HELLOs before the first election

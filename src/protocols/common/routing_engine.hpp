@@ -32,6 +32,7 @@
 #include "protocols/common/routing_table.hpp"
 #include "protocols/common/tables.hpp"
 #include "sim/rng.hpp"
+#include "util/ownership.hpp"
 
 namespace ecgrid::protocols {
 
@@ -64,7 +65,7 @@ struct RoutingStats {
   std::uint64_t discoveriesFailed = 0;
 };
 
-class RoutingEngine {
+class ECGRID_DOMAIN_PER_HOST RoutingEngine {
  public:
   struct Hooks {
     /// Is this host currently the router (gateway/leader) of its grid?

@@ -14,6 +14,7 @@
 #include "geo/grid.hpp"
 #include "protocols/common/messages.hpp"
 #include "sim/time.hpp"
+#include "util/ownership.hpp"
 
 namespace ecgrid::protocols {
 
@@ -30,7 +31,7 @@ struct RouteEntry {
   int hopCount = 0;
 };
 
-class RoutingTable {
+class ECGRID_DOMAIN_PER_HOST RoutingTable {
  public:
   /// `lifetime`: how long an entry stays valid after insert/refresh.
   explicit RoutingTable(sim::Time lifetime) : lifetime_(lifetime) {}

@@ -11,12 +11,13 @@
 #include "geo/grid.hpp"
 #include "net/packet.hpp"
 #include "sim/time.hpp"
+#include "util/ownership.hpp"
 
 namespace ecgrid::protocols {
 
 /// Detects duplicate RREQs by (source, requestId) (paper §3.3: "The pair
 /// (S, id) can be used to detect duplicate RREQ packets").
-class RreqCache {
+class ECGRID_DOMAIN_PER_HOST RreqCache {
  public:
   explicit RreqCache(sim::Time horizon) : horizon_(horizon) {}
 
@@ -40,7 +41,7 @@ class RreqCache {
 /// Entries age out when the gateway goes quiet; lookups are range-checked
 /// so a gateway that has drifted out of radio reach is not offered as a
 /// next hop.
-class NeighbourGatewayTable {
+class ECGRID_DOMAIN_PER_HOST NeighbourGatewayTable {
  public:
   explicit NeighbourGatewayTable(sim::Time staleAfter)
       : staleAfter_(staleAfter) {}
@@ -78,7 +79,7 @@ class NeighbourGatewayTable {
 /// "host ID and status (transmit/sleep mode)"). Active entries age out
 /// when their HELLOs stop; sleeping entries persist until the host leaves,
 /// dies visibly (paging timeout), or the table is handed over.
-class HostTable {
+class ECGRID_DOMAIN_PER_HOST HostTable {
  public:
   explicit HostTable(sim::Time activeStaleAfter)
       : activeStaleAfter_(activeStaleAfter) {}

@@ -15,6 +15,7 @@
 #include "net/host_env.hpp"
 #include "net/routing_protocol.hpp"
 #include "protocols/common/messages.hpp"
+#include "util/ownership.hpp"
 
 namespace ecgrid::protocols {
 
@@ -44,7 +45,7 @@ struct FloodingConfig {
   int ttl = 64;
 };
 
-class FloodingProtocol final : public net::RoutingProtocol {
+class ECGRID_DOMAIN_PER_HOST FloodingProtocol final : public net::RoutingProtocol {
  public:
   FloodingProtocol(net::HostEnv& env, const FloodingConfig& config)
       : env_(env), config_(config) {}

@@ -29,6 +29,7 @@
 #include "protocols/common/messages.hpp"
 #include "protocols/common/routing_engine.hpp"
 #include "sim/rng.hpp"
+#include "util/ownership.hpp"
 
 namespace ecgrid::protocols {
 
@@ -76,7 +77,7 @@ struct GafConfig {
   std::function<std::optional<geo::GridCoord>(net::NodeId)> locationHint;
 };
 
-class GafProtocol final : public net::RoutingProtocol {
+class ECGRID_DOMAIN_PER_HOST GafProtocol final : public net::RoutingProtocol {
  public:
   enum class State { kDiscovery, kActive, kSleep, kDead };
 

@@ -9,10 +9,11 @@
 #pragma once
 
 #include "protocols/common/grid_protocol_base.hpp"
+#include "util/ownership.hpp"
 
 namespace ecgrid::protocols {
 
-class GridProtocol final : public GridProtocolBase {
+class ECGRID_DOMAIN_PER_HOST GridProtocol final : public GridProtocolBase {
  public:
   GridProtocol(net::HostEnv& env, GridProtocolConfig config)
       : GridProtocolBase(env, disableEnergyRules(std::move(config))) {}

@@ -26,6 +26,7 @@
 
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
+#include "util/ownership.hpp"
 
 namespace ecgrid::sim {
 
@@ -59,7 +60,7 @@ class EventHandle {
 /// Min-heap of events ordered by (time, sequence), backed by a slab of
 /// pooled records. Non-copyable and non-movable: handles store a pointer
 /// back to the queue.
-class EventQueue {
+class ECGRID_DOMAIN_PER_SCENARIO EventQueue {
  public:
   EventQueue() = default;
   EventQueue(const EventQueue&) = delete;

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <random>
 #include <string>
+#include "util/ownership.hpp"
 
 namespace ecgrid::sim {
 
@@ -46,7 +47,7 @@ class RngStream {
 
 /// Factory that derives independent streams from (masterSeed, name).
 /// The same (seed, name) pair always yields the same stream.
-class RngFactory {
+class ECGRID_DOMAIN_PER_SCENARIO RngFactory {
  public:
   explicit RngFactory(std::uint64_t masterSeed) : masterSeed_(masterSeed) {}
 

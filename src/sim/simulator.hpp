@@ -22,6 +22,7 @@
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
 #include "util/log.hpp"
+#include "util/ownership.hpp"
 
 namespace ecgrid::obs {
 class Observability;
@@ -31,7 +32,7 @@ namespace ecgrid::sim {
 
 class ExecutionProbe;
 
-class Simulator {
+class ECGRID_DOMAIN_PER_SCENARIO Simulator {
  public:
   explicit Simulator(std::uint64_t masterSeed = 1);
 

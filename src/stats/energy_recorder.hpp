@@ -12,10 +12,11 @@
 
 #include "net/network.hpp"
 #include "stats/timeseries.hpp"
+#include "util/ownership.hpp"
 
 namespace ecgrid::stats {
 
-class EnergyRecorder {
+class ECGRID_DOMAIN_PER_SCENARIO EnergyRecorder {
  public:
   /// Starts sampling immediately and then every `interval` seconds.
   /// `metered` selects the nodes to measure (empty = all finite-battery

@@ -15,10 +15,11 @@
 
 #include "net/host_env.hpp"
 #include "sim/time.hpp"
+#include "util/ownership.hpp"
 
 namespace ecgrid::stats {
 
-class PacketAccounting {
+class ECGRID_DOMAIN_PER_SCENARIO PacketAccounting {
  public:
   /// A source attempted to issue packet (flowId, sequence). Only attempts
   /// from live sources count toward the denominator (a dead host issues

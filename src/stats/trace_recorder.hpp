@@ -29,10 +29,11 @@
 
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
+#include "util/ownership.hpp"
 
 namespace ecgrid::stats {
 
-class TraceRecorder {
+class ECGRID_DOMAIN_PER_SCENARIO TraceRecorder {
  public:
   /// Starts sampling immediately, then every `interval` seconds, into
   /// `path` (truncated). Throws if the file cannot be opened.

@@ -8,6 +8,7 @@
 #include "net/host_env.hpp"
 #include "net/node.hpp"
 #include "sim/simulator.hpp"
+#include "util/ownership.hpp"
 
 namespace ecgrid::traffic {
 
@@ -25,7 +26,7 @@ struct CbrFlowConfig {
 /// fixed rate and reports each attempt through `onSent` (whether the
 /// source was still alive is reported too, so delivery-ratio accounting
 /// can decide what its denominator is).
-class CbrSource {
+class ECGRID_DOMAIN_PER_HOST CbrSource {
  public:
   using SentCallback = std::function<void(
       const CbrFlowConfig&, std::uint64_t sequence, bool sourceAlive)>;

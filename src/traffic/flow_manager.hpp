@@ -9,6 +9,7 @@
 #include "sim/rng.hpp"
 #include "stats/packet_accounting.hpp"
 #include "traffic/cbr.hpp"
+#include "util/ownership.hpp"
 
 namespace ecgrid::traffic {
 
@@ -24,7 +25,7 @@ struct FlowPlan {
   std::vector<net::NodeId> eligibleEndpoints;
 };
 
-class FlowManager {
+class ECGRID_DOMAIN_PER_SCENARIO FlowManager {
  public:
   /// Chooses random (source, destination) pairs, creates the sources, and
   /// installs the app-receive hook on every node. `accounting` must

@@ -2,9 +2,11 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <iostream>
 #include <map>
-#include <mutex>
+#include <string>
+
+#include "util/mutex.hpp"
+#include "util/ownership.hpp"
 
 namespace ecgrid::util {
 
@@ -13,19 +15,24 @@ namespace {
 /// Per-component level overrides, shared across threads (the global
 /// logger is process-wide); guarded by a mutex with an atomic "any
 /// overrides at all?" fast path so the common no-override case costs one
-/// relaxed load.
-struct Overrides {
-  std::mutex mutex;
-  std::map<std::string, int> byTag;
+/// relaxed load. `any` is published under the mutex so a reader that sees
+/// it true finds the matching map contents behind the lock.
+struct ECGRID_DOMAIN_GLOBAL Overrides {
+  Mutex mutex;
+  std::map<std::string, int> byTag ECGRID_GUARDED_BY(mutex);
   std::atomic<bool> any{false};
 };
 
 Overrides& overridesStorage() {
-  static Overrides storage;
+  // Process-wide registry by design: construction is thread-safe (Meyers
+  // singleton) and all mutable state inside is mutex/atomic-protected.
+  static Overrides storage;  // ecgrid-lint: allow(shared-mutable-global)
   return storage;
 }
 
 /// Thread-local simulation clock for line prefixes (see LogSimClock).
+/// Thread-local, not shared: each parallel scenario worker registers its
+/// own simulator's clock.
 const double*& simClockSlot() {
   thread_local const double* clock = nullptr;
   return clock;
@@ -38,7 +45,7 @@ const double*& simClockSlot() {
 /// recurse into levelStorage()'s own initialization.
 int applySpec(const std::string& spec, int base) {
   Overrides& overrides = overridesStorage();
-  std::lock_guard<std::mutex> lock(overrides.mutex);
+  MutexLock lock(overrides.mutex);
   overrides.byTag.clear();
   std::size_t start = 0;
   while (start <= spec.size()) {
@@ -55,11 +62,13 @@ int applySpec(const std::string& spec, int base) {
           static_cast<int>(Logger::parseLevel(token.substr(eq + 1)));
     }
   }
-  overrides.any.store(!overrides.byTag.empty(), std::memory_order_relaxed);
+  overrides.any.store(!overrides.byTag.empty(), std::memory_order_release);
   return base;
 }
 
 int initialLevelFromEnv() {
+  // Read once during levelStorage() initialization, before any worker
+  // thread exists; getenv is safe here. NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("ECGRID_LOG");
   if (env == nullptr) return static_cast<int>(LogLevel::kOff);
   return applySpec(env, static_cast<int>(LogLevel::kOff));
@@ -86,7 +95,9 @@ const char* levelName(LogLevel lvl) {
 }  // namespace
 
 std::atomic<int>& Logger::levelStorage() {
-  static std::atomic<int> storage{initialLevelFromEnv()};
+  // Process-wide level gate: a single atomic int, shared by design.
+  static std::atomic<int> storage{  // ecgrid-lint: allow(shared-mutable-global)
+      initialLevelFromEnv()};
   return storage;
 }
 
@@ -104,13 +115,13 @@ void Logger::configure(const std::string& spec) {
 }
 
 bool Logger::hasOverrides() {
-  return overridesStorage().any.load(std::memory_order_relaxed);
+  return overridesStorage().any.load(std::memory_order_acquire);
 }
 
 LogLevel Logger::levelFor(const char* tag) {
   if (!hasOverrides()) return level();
   Overrides& overrides = overridesStorage();
-  std::lock_guard<std::mutex> lock(overrides.mutex);
+  MutexLock lock(overrides.mutex);
   auto it = overrides.byTag.find(tag);
   return it != overrides.byTag.end() ? static_cast<LogLevel>(it->second)
                                      : level();
@@ -118,14 +129,25 @@ LogLevel Logger::levelFor(const char* tag) {
 
 void Logger::write(LogLevel level, const std::string& tag,
                    const std::string& message) {
+  // Assemble the whole line first and emit it with one stdio call:
+  // stderr is unbuffered, so concurrent scenario workers' lines cannot
+  // interleave mid-line the way chained stream insertions could.
+  std::string line;
+  line.reserve(tag.size() + message.size() + 48);
   const double* clock = simClockSlot();
   if (clock != nullptr) {
     char prefix[40];
     std::snprintf(prefix, sizeof(prefix), "[t=%.6f] ", *clock);
-    std::cerr << prefix;
+    line += prefix;
   }
-  std::cerr << "[" << levelName(level) << "] [" << tag << "] " << message
-            << "\n";
+  line += '[';
+  line += levelName(level);
+  line += "] [";
+  line += tag;
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::fputs(line.c_str(), stderr);
 }
 
 LogLevel Logger::parseLevel(const std::string& text) {

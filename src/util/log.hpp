@@ -19,11 +19,25 @@
 // Log lines carry the simulation component tag and are intended for humans
 // debugging protocol behaviour, not for machine consumption — metrics go
 // through ecgrid::obs / ecgrid::stats instead.
+//
+// Thread-safety contract (audited against harness::runScenariosParallel):
+// Logger is the repo's one sanctioned mutable global. The level gate is a
+// relaxed atomic, the per-component override table is mutex-guarded
+// (ECGRID_GUARDED_BY under the thread-safety preset), configure() may run
+// while parallel scenario workers are logging (last writer wins; readers
+// see either the old or the new table, never a torn one), and write()
+// emits each line with a single stdio call so worker lines cannot
+// interleave mid-line. The sim-time prefix clock is thread-local — each
+// worker registers its own simulator. tests/log_test.cpp exercises
+// configure-while-logging from parallel scenarios; the tsan preset holds
+// it race-free.
 #pragma once
 
 #include <atomic>
 #include <sstream>
 #include <string>
+
+#include "util/ownership.hpp"
 
 namespace ecgrid::util {
 
@@ -36,7 +50,7 @@ enum class LogLevel : int {
   kTrace = 5,
 };
 
-class Logger {
+class ECGRID_DOMAIN_GLOBAL Logger {
  public:
   /// Current global level; defaults to kOff unless ECGRID_LOG is set.
   static LogLevel level();

@@ -1,0 +1,20 @@
+// ecgrid-lint-fixture-path: src/sim/event_census.cpp
+// ecgrid-lint-fixture: expect-violation(shared-mutable-global)
+// Mutable statics in src/: a namespace-scope counter, a function-local
+// cache, and a static class data member. All three are state one
+// scenario's run can leak into another's (and a data race once scenarios
+// run in parallel).
+namespace ecgrid::sim {
+
+static int eventsDispatchedEver = 0;
+
+int nextCensusId() {
+  static int lastId{0};
+  return ++lastId;
+}
+
+class EventCensus {
+  static double lastDispatchTime_;
+};
+
+}  // namespace ecgrid::sim

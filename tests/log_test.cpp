@@ -3,8 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "harness/parallel_runner.hpp"
+#include "harness/scenario.hpp"
 #include "sim/simulator.hpp"
 
 namespace ecgrid::util {
@@ -142,6 +147,50 @@ TEST_F(LogTest, OmitsSimTimePrefixWithoutASimulator) {
   std::string out = ::testing::internal::GetCapturedStderr();
   EXPECT_NE(out.find("[info] [test] bare line"), std::string::npos);
   EXPECT_EQ(out.find("[t="), std::string::npos);
+}
+
+// Regression for the shard-safety audit of the global Logger: parallel
+// scenario workers log (level gate, override lookups, line emission,
+// thread-local sim-time prefixes) while another thread keeps calling
+// Logger::configure. The tsan CI preset runs this test and holds the
+// logger to its race-free contract; on any build it proves
+// configure-while-running cannot crash or deadlock a sweep.
+TEST_F(LogTest, ConfigureWhileParallelScenariosLogIsRaceFree) {
+  Logger::configure("info,mac=debug");
+
+  std::vector<harness::ScenarioConfig> configs;
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    harness::ScenarioConfig config;
+    config.hostCount = 15;
+    config.fieldSize = 500.0;
+    config.duration = 20.0;
+    config.flowCount = 2;
+    config.seed = seed;
+    configs.push_back(config);
+  }
+
+  ::testing::internal::CaptureStderr();
+  std::atomic<bool> stop{false};
+  std::thread reconfigurer([&stop] {
+    int i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      Logger::configure((++i % 2) != 0 ? "info,mac=debug,phy=trace"
+                                       : "warn,route=debug");
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<harness::ScenarioResult> results =
+      harness::runScenariosParallel(configs, 4);
+
+  stop.store(true, std::memory_order_relaxed);
+  reconfigurer.join();
+  ::testing::internal::GetCapturedStderr();  // swallow the log output
+
+  ASSERT_EQ(results.size(), configs.size());
+  for (const harness::ScenarioResult& result : results) {
+    EXPECT_GT(result.eventsExecuted, 0u);
+  }
 }
 
 }  // namespace

@@ -81,5 +81,76 @@ TEST(ParallelRunner, FirstFailureInInputOrderPropagates) {
   }
 }
 
+TEST(ParallelRunner, SingleJobTakesTheSerialPathWithIdenticalResults) {
+  std::vector<ScenarioConfig> configs = smallSweep();
+  std::vector<ScenarioResult> one = runScenariosParallel(configs, 1);
+  std::vector<ScenarioResult> many = runScenariosParallel(configs, 3);
+  ASSERT_EQ(one.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    SCOPED_TRACE(i);
+    expectSameResult(one[i], many[i]);
+  }
+}
+
+TEST(ParallelRunner, SingleConfigRunsOnTheCallingThread) {
+  std::vector<ScenarioConfig> configs = smallSweep();
+  configs.resize(1);
+  std::vector<ScenarioResult> results = runScenariosParallel(configs, 8);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_GT(results[0].eventsExecuted, 0u);
+}
+
+// The propagated failure is a deterministic function of the input, not
+// of worker scheduling: every job count surfaces the same (first in
+// input order) exception.
+TEST(ParallelRunner, PropagatedFailureIsStableAcrossJobCounts) {
+  std::vector<ScenarioConfig> configs = smallSweep();
+  configs[2].hostCount = 0;
+  configs[4].duration = -1.0;
+  for (unsigned jobs : {1u, 2u, 8u}) {
+    SCOPED_TRACE(jobs);
+    try {
+      runScenariosParallel(configs, jobs);
+      FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      // configs[2] (hostCount) precedes configs[4] (duration).
+      EXPECT_NE(std::string(e.what()).find("host"), std::string::npos);
+    }
+  }
+}
+
+// Collecting mode: a scenario that throws mid-sweep is reported at its
+// own index and cannot perturb its neighbours — the surviving results
+// are bit-identical to a sweep that never contained the poisoned config.
+TEST(ParallelRunner, CollectingModeKeepsLaterResultsDeterministic) {
+  std::vector<ScenarioConfig> configs = smallSweep();
+  std::vector<ScenarioResult> clean = runScenariosParallel(configs, 1);
+
+  configs[1].duration = -1.0;
+  std::vector<std::exception_ptr> failures;
+  std::vector<ScenarioResult> partial =
+      runScenariosParallel(configs, 4, failures);
+  ASSERT_EQ(partial.size(), configs.size());
+  ASSERT_EQ(failures.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    SCOPED_TRACE(i);
+    if (i == 1) {
+      ASSERT_TRUE(failures[i] != nullptr);
+      EXPECT_THROW(std::rethrow_exception(failures[i]),
+                   std::invalid_argument);
+      EXPECT_EQ(partial[i].eventsExecuted, 0u);  // slot left default
+    } else {
+      EXPECT_TRUE(failures[i] == nullptr);
+      expectSameResult(clean[i], partial[i]);
+    }
+  }
+}
+
+TEST(ParallelRunner, CollectingModeOnEmptyInput) {
+  std::vector<std::exception_ptr> failures{std::exception_ptr{}};
+  EXPECT_TRUE(runScenariosParallel({}, 4, failures).empty());
+  EXPECT_TRUE(failures.empty());  // resized to the input size
+}
+
 }  // namespace
 }  // namespace ecgrid::harness
