@@ -11,11 +11,20 @@
 //                             1 = serial; results are identical either way)
 //   ECGRID_BENCH_HORIZON=S  — cap every run's duration at S seconds (CI
 //                             smoke under slow sanitizers)
+//   ECGRID_BENCH_SHARDS=N   — run every scenario on the sharded event
+//                             engine with N spatial shards (default 1 =
+//                             serial oracle). Figure numbers are
+//                             byte-identical at any value — the sharded
+//                             engine commits the identical event order
+//                             (tests/sharded_test.cpp) — so this only
+//                             changes engine mechanics and the profile.*
+//                             attribution.
 //   ECGRID_BENCH_OUT=DIR    — write artifacts to DIR instead of bench_out/
 //                             (CI scratch runs; keeps committed records
 //                             untouched)
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -67,6 +76,16 @@ inline void applyHorizonCap(harness::ScenarioConfig& config) {
   if (cap > 0.0 && config.duration > cap) config.duration = cap;
 }
 
+/// Event-engine shard count for every bench scenario (ECGRID_BENCH_SHARDS,
+/// default 1 = the serial oracle). Applied by paperBaseline(), so every
+/// figure bench honours it without per-bench wiring.
+inline int benchShards() {
+  const char* env = std::getenv("ECGRID_BENCH_SHARDS");
+  if (env == nullptr) return 1;
+  int n = std::atoi(env);
+  return n > 0 ? n : 1;
+}
+
 /// Wall-clock stopwatch for the whole bench. Wall time never feeds the
 /// simulation — it is reporting-only, hence the lint suppressions.
 class WallTimer {
@@ -95,7 +114,47 @@ inline harness::ScenarioConfig paperBaseline() {
   config.maxSpeed = 1.0;
   config.pauseTime = 0.0;
   config.duration = 2000.0;
+  config.shards = benchShards();
   return config;
+}
+
+/// Downsample a dense (time, value) sample stream into a ~`targetPoints`-
+/// bucket min/mean/max envelope, returned as three TimeSeries labelled
+/// `<prefix>_min` / `<prefix>_mean` / `<prefix>_max` (each point sits at
+/// its bucket's mean time). Long profiled runs produce tens of thousands
+/// of queue-depth samples; the envelope keeps BENCH_*.json records small
+/// while preserving the spikes a plain stride-decimation would drop.
+/// Deterministic in the input.
+inline std::vector<stats::TimeSeries> downsampleEnvelope(
+    const std::string& prefix,
+    const std::vector<std::pair<double, double>>& samples,
+    std::size_t targetPoints = 256) {
+  std::vector<stats::TimeSeries> envelope;
+  envelope.emplace_back(prefix + "_min");
+  envelope.emplace_back(prefix + "_mean");
+  envelope.emplace_back(prefix + "_max");
+  if (samples.empty()) return envelope;
+  if (targetPoints == 0) targetPoints = 1;
+  const std::size_t bucketSize =
+      (samples.size() + targetPoints - 1) / targetPoints;
+  for (std::size_t begin = 0; begin < samples.size(); begin += bucketSize) {
+    const std::size_t end = std::min(begin + bucketSize, samples.size());
+    double lo = samples[begin].second;
+    double hi = samples[begin].second;
+    double valueSum = 0.0;
+    double timeSum = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      lo = std::min(lo, samples[i].second);
+      hi = std::max(hi, samples[i].second);
+      valueSum += samples[i].second;
+      timeSum += samples[i].first;
+    }
+    const double count = static_cast<double>(end - begin);
+    envelope[0].add(timeSum / count, lo);
+    envelope[1].add(timeSum / count, valueSum / count);
+    envelope[2].add(timeSum / count, hi);
+  }
+  return envelope;
 }
 
 /// Artifact directory: bench_out/ by default, ECGRID_BENCH_OUT overrides.

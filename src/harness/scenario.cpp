@@ -10,6 +10,7 @@
 #include "fault/fault_injector.hpp"
 #include "mobility/random_waypoint.hpp"
 #include "obs/observability.hpp"
+#include "sim/sharded/engine.hpp"
 #include "protocols/flooding/flooding_protocol.hpp"
 #include "protocols/grid/grid_protocol.hpp"
 #include "stats/energy_recorder.hpp"
@@ -100,6 +101,16 @@ ScenarioResult runScenario(const ScenarioConfig& config) {
   // Before anything is scheduled, so every event of the run gets a
   // perturbed tie-break key (determinism analysis; see scenario.hpp).
   if (config.perturbTieBreak) simulator.perturbTieBreaks();
+  ECGRID_REQUIRE(config.shards >= 1, "need at least one shard");
+  if (config.shards > 1) {
+    // Swap in the sharded engine before any component can schedule.
+    // shards == 1 deliberately never touches the engine: the serial
+    // queue is the oracle the digest-parity tests compare against.
+    sim::sharded::ShardedEngineConfig engineConfig;
+    engineConfig.shards = config.shards;
+    engineConfig.fieldWidth = config.fieldSize;
+    simulator.enableSharding(engineConfig);
+  }
 
   // The hub must exist before any component so constructor-time
   // obs::counter() registrations resolve to live cells.
@@ -159,6 +170,14 @@ ScenarioResult runScenario(const ScenarioConfig& config) {
     } else {
       metered.push_back(&node);
     }
+    // Shard-ownership registration (no-op on the serial path). The
+    // provider reads the host's true x lazily; mobility legs are drawn
+    // from the host's dedicated stream in the same sequence regardless
+    // of when they are realised, so ownership lookups cannot perturb
+    // the run.
+    net::Node* owned = &node;
+    simulator.registerShardHost(sim::hostEventKey(node.id()),
+                                [owned] { return owned->truePosition().x; });
   }
 
   stats::EnergyRecorder recorder(network, config.sampleInterval, metered);
@@ -255,6 +274,10 @@ ScenarioResult runScenario(const ScenarioConfig& config) {
   result.eventsExecuted = simulator.eventsExecuted();
   result.auditRuns = auditor.runs();
   result.digestTrace = std::move(digestTrace);
+  if (const sim::sharded::ShardedEngine* engine = simulator.shardedEngine()) {
+    result.crossShardEvents = engine->crossShardEvents();
+    result.shardMigrations = engine->hostMigrations();
+  }
 
   for (auto& nodePtr : network.nodes()) {
     result.macFramesSent += nodePtr->mac().framesSent();

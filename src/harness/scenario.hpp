@@ -61,6 +61,14 @@ struct ScenarioConfig {
   double sampleInterval = 10.0;
   std::uint64_t seed = 1;
 
+  /// Spatial shards for the event engine (sim/sharded). 1 = the serial
+  /// single-queue oracle, untouched. >1 stripes the field into that many
+  /// column shards, each owning its hosts' events, with boundary events
+  /// crossing per-edge mailboxes — committed in the identical global
+  /// order, so the run's digest trace, metrics, and results are
+  /// byte-identical at any shard count (gated in tests/sharded_test.cpp).
+  int shards = 1;
+
   // invariant auditing (src/check): when enabled, the standard audits run
   // every `auditPeriodEvents` executed events and a violation aborts the
   // run with std::logic_error. Tests keep this on; benches leave it off
@@ -159,6 +167,12 @@ struct ScenarioResult {
 
   std::uint64_t eventsExecuted = 0;
   std::uint64_t auditRuns = 0;  ///< invariant-audit sweeps completed
+
+  // sharded-engine accounting (both zero when config.shards == 1).
+  // Engine-level counters live here rather than in `metrics` so metric
+  // snapshots stay byte-identical across shard counts.
+  std::uint64_t crossShardEvents = 0;  ///< boundary events through mailboxes
+  std::uint64_t shardMigrations = 0;   ///< host ownership changes observed
 
   /// Sampled state digests (empty unless config.digestEveryEvents > 0).
   /// The last sample is always taken at the horizon after the closing

@@ -101,22 +101,25 @@ void Channel::deliverTo(const Attachment& attachment, net::NodeId senderId,
       // frame itself is lost (the MAC's ARQ sees a missing ACK).
       ++deliveriesCorrupted_;
       mDeliveriesCorrupted_.add();
-      sim_.schedule(
-          delay,
+      sim_.scheduleFor(
+          sim::hostEventKey(receiver->id()), delay,
           [receiver, duration] { receiver->beginInterference(duration); },
           "phy/interference");
       return;
     }
-    sim_.schedule(
-        delay,
+    // scheduleFor, not schedule: the reception belongs to the receiver's
+    // host, which the sharded engine may own on the other side of a
+    // stripe edge (the frame-crossing-a-shard-boundary event).
+    sim_.scheduleFor(
+        sim::hostEventKey(receiver->id()), delay,
         [receiver, stamped, duration] {
           receiver->beginReceive(stamped, duration);
         },
         "phy/deliver");
   } else {
     // Inside the interference ring: energy arrives but cannot decode.
-    sim_.schedule(
-        delay,
+    sim_.scheduleFor(
+        sim::hostEventKey(receiver->id()), delay,
         [receiver, duration] { receiver->beginInterference(duration); },
         "phy/interference");
   }

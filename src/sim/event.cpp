@@ -43,7 +43,7 @@ EventHandle EventQueue::push(Time time, std::function<void()> action,
   const std::uint64_t tieKey = tieBreakRng_ ? tieBreakRng_->raw() : sequence;
   heap_.push_back(HeapEntry{time, tieKey, sequence, index});
   siftUp(heap_.size() - 1);
-  return EventHandle(this, index, slot.generation);
+  return makeHandle(this, index, slot.generation);
 }
 
 void EventQueue::siftUp(std::size_t i) {

@@ -30,7 +30,26 @@
 
 namespace ecgrid::sim {
 
-class EventQueue;
+class EventHandle;
+
+/// Backend interface behind EventHandle: anything owning pooled event
+/// slots addressed by (index, generation). The serial EventQueue and the
+/// sharded engine's per-shard queues (sim/sharded/shard_queue.hpp) both
+/// implement it, so a handle is oblivious to which engine minted it.
+class EventTarget {
+ public:
+  virtual ~EventTarget() = default;
+
+ protected:
+  friend class EventHandle;
+  virtual void cancelSlot(std::uint32_t slot, std::uint32_t generation) = 0;
+  virtual bool slotPending(std::uint32_t slot,
+                           std::uint32_t generation) const = 0;
+  /// Handle factory for implementations (EventHandle's constructor is
+  /// private to keep (slot, generation) pairs unforgeable).
+  static EventHandle makeHandle(EventTarget* target, std::uint32_t slot,
+                                std::uint32_t generation);
+};
 
 /// Handle to a scheduled event. Default-constructed handles are inert.
 /// Copyable; all copies refer to the same event. A handle must not be
@@ -48,19 +67,26 @@ class EventHandle {
   [[nodiscard]] bool pending() const;
 
  private:
-  friend class EventQueue;
-  EventHandle(EventQueue* queue, std::uint32_t slot, std::uint32_t generation)
-      : queue_(queue), slot_(slot), generation_(generation) {}
+  friend class EventTarget;
+  EventHandle(EventTarget* target, std::uint32_t slot,
+              std::uint32_t generation)
+      : target_(target), slot_(slot), generation_(generation) {}
 
-  EventQueue* queue_ = nullptr;
+  EventTarget* target_ = nullptr;
   std::uint32_t slot_ = 0;
   std::uint32_t generation_ = 0;
 };
 
+inline EventHandle EventTarget::makeHandle(EventTarget* target,
+                                           std::uint32_t slot,
+                                           std::uint32_t generation) {
+  return EventHandle(target, slot, generation);
+}
+
 /// Min-heap of events ordered by (time, sequence), backed by a slab of
 /// pooled records. Non-copyable and non-movable: handles store a pointer
 /// back to the queue.
-class ECGRID_DOMAIN_PER_SCENARIO EventQueue {
+class ECGRID_DOMAIN_PER_SCENARIO EventQueue : public EventTarget {
  public:
   EventQueue() = default;
   EventQueue(const EventQueue&) = delete;
@@ -99,9 +125,13 @@ class ECGRID_DOMAIN_PER_SCENARIO EventQueue {
 
   std::size_t sizeIncludingCancelled() const { return heap_.size(); }
 
- private:
-  friend class EventHandle;
+ protected:
+  // EventTarget backends (EventHandle reaches them through the base).
+  void cancelSlot(std::uint32_t slot, std::uint32_t generation) override;
+  bool slotPending(std::uint32_t slot,
+                   std::uint32_t generation) const override;
 
+ private:
   static constexpr std::uint32_t kNoSlot = 0xffffffffu;
 
   struct Slot {
@@ -136,10 +166,6 @@ class ECGRID_DOMAIN_PER_SCENARIO EventQueue {
   void siftDown(std::size_t i);
   void skipCancelled();
 
-  // EventHandle backends.
-  void cancelSlot(std::uint32_t slot, std::uint32_t generation);
-  bool slotPending(std::uint32_t slot, std::uint32_t generation) const;
-
   std::vector<Slot> slots_;
   std::vector<HeapEntry> heap_;
   std::optional<RngStream> tieBreakRng_;
@@ -149,11 +175,11 @@ class ECGRID_DOMAIN_PER_SCENARIO EventQueue {
 };
 
 inline void EventHandle::cancel() {
-  if (queue_ != nullptr) queue_->cancelSlot(slot_, generation_);
+  if (target_ != nullptr) target_->cancelSlot(slot_, generation_);
 }
 
 inline bool EventHandle::pending() const {
-  return queue_ != nullptr && queue_->slotPending(slot_, generation_);
+  return target_ != nullptr && target_->slotPending(slot_, generation_);
 }
 
 }  // namespace ecgrid::sim

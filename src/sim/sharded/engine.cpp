@@ -1,0 +1,262 @@
+#include "sim/sharded/engine.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace ecgrid::sim::sharded {
+
+ShardedEngine::ShardedEngine(const ShardedEngineConfig& config)
+    : config_(config), map_(config.fieldWidth, config.shards) {
+  const int shards = map_.shardCount();
+  queues_.reserve(static_cast<std::size_t>(shards));
+  contexts_.resize(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    queues_.push_back(std::make_unique<ShardQueue>());
+    contexts_[static_cast<std::size_t>(s)].engine_ = this;
+    contexts_[static_cast<std::size_t>(s)].shard_ = s;
+  }
+  const std::size_t edges =
+      static_cast<std::size_t>(shards) * static_cast<std::size_t>(shards);
+  mailboxes_.reserve(edges);
+  for (std::size_t e = 0; e < edges; ++e) {
+    mailboxes_.push_back(std::make_unique<EdgeMailbox>());
+  }
+  edgeDirty_.assign(edges, 0);
+}
+
+void ShardedEngine::registerHost(std::uint64_t key,
+                                 std::function<double()> xProvider) {
+  map_.registerHost(key, std::move(xProvider));
+}
+
+int ShardedEngine::enterHost(std::uint64_t key) {
+  const int previous = currentShard_;
+  currentShard_ = map_.shardOfHost(key);
+  return previous;
+}
+
+void ShardedEngine::exitHost(int previousShard) {
+  currentShard_ = previousShard;
+}
+
+EventKey ShardedEngine::nextSequencedKey(Time time) {
+  // Mirrors EventQueue::push exactly: one sequence bump, then one
+  // tie-break draw from the same "check/tiebreak" stream when perturbed
+  // — push order is identical to the serial run's, so the key stream is
+  // too (the digest-parity precondition).
+  const std::uint64_t sequence = nextSequence_++;
+  const std::uint64_t tieKey = tieBreakRng_ ? tieBreakRng_->raw() : sequence;
+  return EventKey{time, tieKey, sequence};
+}
+
+EventHandle ShardedEngine::pushLocal(Time time, InlineTask task,
+                                     const char* label) {
+  return queues_[static_cast<std::size_t>(currentShard_)]->push(
+      nextSequencedKey(time), std::move(task), label);
+}
+
+EventHandle ShardedEngine::pushFor(std::uint64_t ownerKey, Time time,
+                                   InlineTask task, const char* label) {
+  const int target = map_.shardOfHost(ownerKey);
+  const EventKey key = nextSequencedKey(time);
+  if (target == currentShard_) {
+    return queues_[static_cast<std::size_t>(target)]->push(
+        key, std::move(task), label);
+  }
+  ++crossShardEvents_;
+  const std::size_t edge = edgeIndex(currentShard_, target);
+  mailboxes_[edge]->post(key, std::move(task), label, kTimeZero);
+  ++mailboxBuffered_;
+  if (edgeDirty_[edge] == 0) {
+    edgeDirty_[edge] = 1;
+    dirtyEdges_.push_back(edge);
+  }
+  return EventHandle{};
+}
+
+void ShardedEngine::drainDirtyEdges() {
+  if (dirtyEdges_.empty()) return;
+  for (std::size_t edge : dirtyEdges_) {
+    const int target = static_cast<int>(
+        edge % static_cast<std::size_t>(map_.shardCount()));
+    mailboxBuffered_ -=
+        mailboxes_[edge]->drainInto(*queues_[static_cast<std::size_t>(target)]);
+    edgeDirty_[edge] = 0;
+  }
+  dirtyEdges_.clear();
+}
+
+bool ShardedEngine::popNext(Time& time, InlineTask& task, const char*& label,
+                            int& shard) {
+  drainDirtyEdges();
+  int best = -1;
+  const EventKey* bestKey = nullptr;
+  const int shards = map_.shardCount();
+  for (int s = 0; s < shards; ++s) {
+    const EventKey* key = queues_[static_cast<std::size_t>(s)]->peek();
+    if (key != nullptr && (bestKey == nullptr || earlierKey(*key, *bestKey))) {
+      best = s;
+      bestKey = key;
+    }
+  }
+  if (best < 0) return false;
+  const bool popped =
+      queues_[static_cast<std::size_t>(best)]->popFront(time, task, label);
+  ECGRID_REQUIRE(popped, "peeked shard head vanished before pop");
+  currentShard_ = best;
+  executingShard_ = best;
+  shard = best;
+  return true;
+}
+
+void ShardedEngine::finishCurrent() {
+  if (executingShard_ < 0) return;
+  queues_[static_cast<std::size_t>(executingShard_)]->finishExecuting();
+  executingShard_ = -1;
+}
+
+Time ShardedEngine::nextEventTime() {
+  drainDirtyEdges();
+  Time next = kTimeNever;
+  const int shards = map_.shardCount();
+  for (int s = 0; s < shards; ++s) {
+    const EventKey* key = queues_[static_cast<std::size_t>(s)]->peek();
+    if (key != nullptr && key->time < next) next = key->time;
+  }
+  return next;
+}
+
+std::size_t ShardedEngine::queueDepthTotal() const {
+  std::size_t total = mailboxBuffered_;
+  for (const auto& queue : queues_) total += queue->sizeIncludingCancelled();
+  return total;
+}
+
+// ---- Windowed mode ---------------------------------------------------------
+
+ShardedEngine::ShardContext& ShardedEngine::shardContext(int shard) {
+  ECGRID_REQUIRE(shard >= 0 && shard < map_.shardCount(),
+                 "shard index out of range");
+  return contexts_[static_cast<std::size_t>(shard)];
+}
+
+void ShardedEngine::ShardContext::postLocal(Time delay, InlineTask task,
+                                            const char* label) {
+  ECGRID_REQUIRE(delay >= 0.0, "cannot schedule into the past");
+  // Striped sequence: globally unique across shards without any
+  // cross-thread coordination.
+  const std::uint64_t sequence =
+      nextLocalSeq_++ * static_cast<std::uint64_t>(engine_->shardCount()) +
+      static_cast<std::uint64_t>(shard_);
+  engine_->queues_[static_cast<std::size_t>(shard_)]->push(
+      EventKey{now_ + delay, sequence, sequence}, std::move(task), label);
+}
+
+void ShardedEngine::ShardContext::postRemote(int targetShard, Time delay,
+                                             InlineTask task,
+                                             const char* label) {
+  ECGRID_REQUIRE(targetShard >= 0 && targetShard < engine_->shardCount(),
+                 "shard index out of range");
+  ECGRID_REQUIRE(delay >= engine_->lookaheadSeconds(),
+                 "cross-shard post below the conservative lookahead");
+  const std::uint64_t sequence =
+      nextLocalSeq_++ * static_cast<std::uint64_t>(engine_->shardCount()) +
+      static_cast<std::uint64_t>(shard_);
+  engine_->mailboxes_[engine_->edgeIndex(shard_, targetShard)]->post(
+      EventKey{now_ + delay, sequence, sequence}, std::move(task), label,
+      engine_->windowHorizon_);
+  ++remotePosted_;
+}
+
+void ShardedEngine::seedWindowed(int shard, Time time, InlineTask task,
+                                 const char* label) {
+  ECGRID_REQUIRE(shard >= 0 && shard < map_.shardCount(),
+                 "shard index out of range");
+  ShardContext& context = contexts_[static_cast<std::size_t>(shard)];
+  const std::uint64_t sequence =
+      context.nextLocalSeq_++ *
+          static_cast<std::uint64_t>(map_.shardCount()) +
+      static_cast<std::uint64_t>(shard);
+  queues_[static_cast<std::size_t>(shard)]->push(
+      EventKey{time, sequence, sequence}, std::move(task), label);
+}
+
+std::size_t ShardedEngine::drainAllEdges() {
+  std::size_t drained = 0;
+  const std::size_t edges = mailboxes_.size();
+  const int shards = map_.shardCount();
+  for (std::size_t edge = 0; edge < edges; ++edge) {
+    const int target =
+        static_cast<int>(edge % static_cast<std::size_t>(shards));
+    drained += mailboxes_[edge]->drainInto(
+        *queues_[static_cast<std::size_t>(target)]);
+  }
+  return drained;
+}
+
+void ShardedEngine::runShardWindow(int shard, Time horizon) {
+  ShardQueue& queue = *queues_[static_cast<std::size_t>(shard)];
+  ShardContext& context = contexts_[static_cast<std::size_t>(shard)];
+  Time time = kTimeZero;
+  InlineTask task;
+  const char* label = nullptr;
+  while (true) {
+    const EventKey* key = queue.peek();
+    if (key == nullptr || key->time > horizon) break;
+    const bool popped = queue.popFront(time, task, label);
+    ECGRID_REQUIRE(popped, "windowed shard head vanished before pop");
+    context.now_ = time;
+    task();
+    task.reset();
+    queue.finishExecuting();
+    ++context.executed_;
+  }
+}
+
+WindowedStats ShardedEngine::runWindowed(int workers, Time until) {
+  ECGRID_REQUIRE(config_.lookaheadSeconds > 0.0,
+                 "windowed mode needs a positive lookahead");
+  const int shards = map_.shardCount();
+  WindowedStats stats;
+  while (true) {
+    // Window barrier: all boundary events posted in the previous window
+    // land before the next floor is computed.
+    drainAllEdges();
+    Time floor = kTimeNever;
+    for (int s = 0; s < shards; ++s) {
+      const EventKey* key = queues_[static_cast<std::size_t>(s)]->peek();
+      if (key != nullptr && key->time < floor) floor = key->time;
+    }
+    if (floor == kTimeNever || floor > until) break;
+    const Time horizon = std::min(floor + config_.lookaheadSeconds, until);
+    windowHorizon_ = horizon;
+    if (workers <= 1 || shards == 1) {
+      for (int s = 0; s < shards; ++s) runShardWindow(s, horizon);
+    } else {
+      // One thread per shard group; spawn/join per window is the
+      // barrier. The joins give the next drainAllEdges a happens-before
+      // edge over every in-window mailbox post.
+      const int threads = std::min(workers, shards);
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<std::size_t>(threads - 1));
+      for (int t = 1; t < threads; ++t) {
+        pool.emplace_back([this, t, threads, shards, horizon] {
+          for (int s = t; s < shards; s += threads) runShardWindow(s, horizon);
+        });
+      }
+      for (int s = 0; s < shards; s += threads) runShardWindow(s, horizon);
+      for (std::thread& thread : pool) thread.join();
+    }
+    ++stats.windows;
+  }
+  for (const ShardContext& context : contexts_) {
+    stats.eventsExecuted += context.executed_;
+    stats.remotePosted += context.remotePosted_;
+  }
+  return stats;
+}
+
+}  // namespace ecgrid::sim::sharded

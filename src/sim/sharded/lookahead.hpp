@@ -1,0 +1,46 @@
+// Conservative lookahead derivation for the windowed engine mode.
+//
+// A conservative (null-message / LBTS) engine may run shards ahead of
+// each other only up to the minimum latency of any cross-shard
+// influence. For the wireless model that latency is the time before a
+// frame transmitted in one stripe can change *decoded* state in another:
+// the propagation delay across the inter-stripe gap plus the frame's
+// serialisation on air (PLCP preamble + payload at the channel bitrate)
+// — the quantities phy::ChannelConfig carries.
+//
+// Scope note (DESIGN.md §14): this bound covers decode-level influence
+// only. Carrier sense reacts at the *start* of a reception, i.e. after
+// the bare propagation delay (~µs), which is why full scenarios run the
+// engine in sequenced mode and the windowed mode is reserved for
+// engine-level workloads whose cross-shard interactions honour this
+// lookahead by construction.
+//
+// Plain doubles in/out: this header is included from sim/, which may not
+// depend on phy/ — the harness passes the ChannelConfig fields down.
+#pragma once
+
+#include "util/error.hpp"
+
+namespace ecgrid::sim::sharded {
+
+/// Minimum cross-shard influence latency in seconds.
+///
+/// `gapMeters`: closest approach between hosts of adjacent shards. With
+/// column stripes and hosts registered anywhere in them this is 0 —
+/// pass the known minimum for the workload, or 0 for the conservative
+/// floor (the preamble + serialisation terms still give a usable
+/// window). `minFrameBytes`: smallest frame the workload transmits.
+inline double conservativeLookahead(double gapMeters,
+                                    double propagationSpeedMps,
+                                    double preambleSeconds,
+                                    int minFrameBytes, double bitrateBps) {
+  ECGRID_REQUIRE(propagationSpeedMps > 0.0 && bitrateBps > 0.0,
+                 "lookahead needs positive propagation speed and bitrate");
+  ECGRID_REQUIRE(gapMeters >= 0.0 && preambleSeconds >= 0.0 &&
+                     minFrameBytes >= 0,
+                 "lookahead inputs must be non-negative");
+  return gapMeters / propagationSpeedMps + preambleSeconds +
+         (static_cast<double>(minFrameBytes) * 8.0) / bitrateBps;
+}
+
+}  // namespace ecgrid::sim::sharded

@@ -1,0 +1,39 @@
+#include "sim/sharded/mailbox.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace ecgrid::sim::sharded {
+
+void EdgeMailbox::post(const EventKey& key, InlineTask task, const char* label,
+                       Time notBefore) {
+  ECGRID_REQUIRE(key.time >= notBefore,
+                 "cross-shard event violates the causality floor");
+  util::MutexLock lock(mutex_);
+  postings_.push_back(Posting{key, std::move(task), label});
+}
+
+std::size_t EdgeMailbox::drainInto(ShardQueue& target) {
+  std::vector<Posting> drained;
+  {
+    util::MutexLock lock(mutex_);
+    drained.swap(postings_);
+  }
+  std::sort(drained.begin(), drained.end(),
+            [](const Posting& a, const Posting& b) {
+              return earlierKey(a.key, b.key);
+            });
+  for (Posting& posting : drained) {
+    target.push(posting.key, std::move(posting.task), posting.label);
+  }
+  return drained.size();
+}
+
+std::size_t EdgeMailbox::pendingCount() {
+  util::MutexLock lock(mutex_);
+  return postings_.size();
+}
+
+}  // namespace ecgrid::sim::sharded

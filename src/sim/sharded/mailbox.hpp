@@ -1,0 +1,62 @@
+// EdgeMailbox — deterministic cross-shard event hand-off.
+//
+// One mailbox per directed shard edge (from → to). Boundary events —
+// frames delivered across a stripe edge, paging signals to a host owned
+// elsewhere, timers following a host that migrated — are posted here
+// with their global EventKey already assigned, and later drained into
+// the target shard's queue sorted by (time, tieKey, sequence). Because
+// the keys are global, drain timing can never reorder events relative
+// to the run's total order; the sort only fixes the order postings
+// enter the target slab, keeping drains deterministic.
+//
+// Locking: in windowed mode the producing shard's worker posts while the
+// engine drains only between windows (the window barrier already
+// sequences the two), but the mutex keeps the type safe under any
+// caller and lets clang's thread-safety analysis check it. In sequenced
+// mode (single-threaded) the lock is uncontended.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/sharded/shard_queue.hpp"
+#include "sim/sharded/task.hpp"
+#include "util/mutex.hpp"
+#include "util/ownership.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace ecgrid::sim::sharded {
+
+class ECGRID_DOMAIN_PER_SCENARIO EdgeMailbox {
+ public:
+  EdgeMailbox() = default;
+  EdgeMailbox(const EdgeMailbox&) = delete;
+  EdgeMailbox& operator=(const EdgeMailbox&) = delete;
+
+  /// Post a boundary event. `notBefore` is the causality floor: in
+  /// windowed mode the current window horizon (a conservative engine may
+  /// never receive an event earlier than what the target might already
+  /// have processed); pass kTimeZero in sequenced mode, where the global
+  /// commit order makes any key safe.
+  void post(const EventKey& key, InlineTask task, const char* label,
+            Time notBefore);
+
+  /// Move all postings into `target`, sorted by EventKey. Returns the
+  /// number of events drained.
+  std::size_t drainInto(ShardQueue& target);
+
+  /// Postings currently buffered.
+  std::size_t pendingCount();
+
+ private:
+  struct Posting {
+    EventKey key;
+    InlineTask task;
+    const char* label = nullptr;
+  };
+
+  util::Mutex mutex_;
+  std::vector<Posting> postings_ ECGRID_GUARDED_BY(mutex_);
+};
+
+}  // namespace ecgrid::sim::sharded

@@ -1,0 +1,46 @@
+#include "sim/sharded/shard_map.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace ecgrid::sim::sharded {
+
+ShardMap::ShardMap(double fieldWidth, int shardCount)
+    : fieldWidth_(fieldWidth),
+      stripeWidth_(fieldWidth / shardCount),
+      shards_(shardCount) {
+  ECGRID_REQUIRE(fieldWidth > 0.0, "field width must be positive");
+  ECGRID_REQUIRE(shardCount >= 1, "need at least one shard");
+}
+
+int ShardMap::shardOfX(double x) const {
+  if (x <= 0.0) return 0;
+  int stripe = static_cast<int>(x / stripeWidth_);
+  return stripe >= shards_ ? shards_ - 1 : stripe;
+}
+
+void ShardMap::registerHost(std::uint64_t key,
+                            std::function<double()> xProvider) {
+  ECGRID_REQUIRE(xProvider != nullptr, "host needs a position provider");
+  HostEntry& entry = hosts_[key];
+  entry.x = std::move(xProvider);
+  entry.lastShard = shardOfX(entry.x());
+}
+
+bool ShardMap::knowsHost(std::uint64_t key) const {
+  return hosts_.find(key) != hosts_.end();
+}
+
+int ShardMap::shardOfHost(std::uint64_t key) {
+  auto it = hosts_.find(key);
+  if (it == hosts_.end()) return kHubShard;
+  int shard = shardOfX(it->second.x());
+  if (shard != it->second.lastShard) {
+    ++migrations_;
+    it->second.lastShard = shard;
+  }
+  return shard;
+}
+
+}  // namespace ecgrid::sim::sharded

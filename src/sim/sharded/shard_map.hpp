@@ -1,0 +1,70 @@
+// ShardMap — column-stripe spatial partition and host-ownership table.
+//
+// The plane is cut into `shardCount` equal-width vertical stripes (the
+// same bucketing idea phy::SpatialIndex uses, collapsed to one axis so a
+// shard boundary is a single x-coordinate). Every host registers a live
+// x-position provider; the shard that owns a host is re-derived from that
+// provider on lookup, so mobility-driven migration across a stripe
+// boundary is automatic — the map records each observed ownership change
+// as a migration (the boundary event DESIGN.md §14 describes).
+//
+// The map is ECGRID_DOMAIN_PER_SCENARIO state driven only from the
+// sequenced commit loop (one thread); windowed-mode workloads address
+// shards explicitly and never consult it concurrently.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "util/ownership.hpp"
+
+namespace ecgrid::sim::sharded {
+
+class ECGRID_DOMAIN_PER_SCENARIO ShardMap {
+ public:
+  /// `fieldWidth` is the extent of the x-axis being striped; positions
+  /// outside [0, fieldWidth) clamp to the edge stripes.
+  ShardMap(double fieldWidth, int shardCount);
+
+  [[nodiscard]] int shardCount() const { return shards_; }
+  [[nodiscard]] double fieldWidth() const { return fieldWidth_; }
+
+  /// Stripe owning x-coordinate `x` (clamped).
+  [[nodiscard]] int shardOfX(double x) const;
+
+  /// Register host `key` with a live x-position provider. The provider
+  /// must stay valid for the map's lifetime and be pure (no RNG draws,
+  /// no event scheduling) — it is consulted on every ownership lookup.
+  void registerHost(std::uint64_t key, std::function<double()> xProvider);
+
+  /// True when `key` has a registered provider.
+  [[nodiscard]] bool knowsHost(std::uint64_t key) const;
+
+  /// Current owner shard of host `key`, re-derived from its position
+  /// provider; counts a migration when ownership changed since the last
+  /// lookup. Unregistered keys fall back to the hub shard (0), where
+  /// per-scenario components (traffic, stats, fault) live.
+  int shardOfHost(std::uint64_t key);
+
+  /// Ownership changes observed across all shardOfHost lookups.
+  [[nodiscard]] std::uint64_t migrations() const { return migrations_; }
+
+  static constexpr int kHubShard = 0;
+
+ private:
+  struct HostEntry {
+    std::function<double()> x;
+    int lastShard = kHubShard;
+  };
+
+  double fieldWidth_;
+  double stripeWidth_;
+  int shards_;
+  std::uint64_t migrations_ = 0;
+  // Keyed lookups only — never iterated, so hash order cannot leak into
+  // event order.
+  std::unordered_map<std::uint64_t, HostEntry> hosts_;
+};
+
+}  // namespace ecgrid::sim::sharded

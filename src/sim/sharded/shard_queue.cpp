@@ -1,0 +1,127 @@
+#include "sim/sharded/shard_queue.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace ecgrid::sim::sharded {
+
+std::uint32_t ShardQueue::allocSlot() {
+  if (freeHead_ != kNoSlot) {
+    std::uint32_t index = freeHead_;
+    freeHead_ = slots_[index].nextFree;
+    return index;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void ShardQueue::freeSlot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.live = false;
+  slot.cancelled = false;
+  slot.label = nullptr;
+  slot.task.reset();
+  ++slot.generation;
+  slot.nextFree = freeHead_;
+  freeHead_ = index;
+}
+
+EventHandle ShardQueue::push(const EventKey& key, InlineTask task,
+                             const char* label) {
+  ECGRID_REQUIRE(static_cast<bool>(task), "event task must be callable");
+  std::uint32_t index = allocSlot();
+  Slot& slot = slots_[index];
+  slot.time = key.time;
+  slot.live = true;
+  slot.cancelled = false;
+  slot.label = label;
+  slot.task = std::move(task);
+  heap_.push_back(HeapEntry{key, index});
+  siftUp(heap_.size() - 1);
+  return makeHandle(this, index, slot.generation);
+}
+
+void ShardQueue::siftUp(std::size_t i) {
+  HeapEntry entry = heap_[i];
+  while (i > 0) {
+    std::size_t parent = (i - 1) / 2;
+    if (!earlierKey(entry.key, heap_[parent].key)) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+void ShardQueue::siftDown(std::size_t i) {
+  const std::size_t size = heap_.size();
+  HeapEntry entry = heap_[i];
+  while (true) {
+    std::size_t child = 2 * i + 1;
+    if (child >= size) break;
+    if (child + 1 < size && earlierKey(heap_[child + 1].key, heap_[child].key))
+      ++child;
+    if (!earlierKey(heap_[child].key, entry.key)) break;
+    heap_[i] = heap_[child];
+    i = child;
+  }
+  heap_[i] = entry;
+}
+
+void ShardQueue::removeHeapTop() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) siftDown(0);
+}
+
+void ShardQueue::skipCancelled() {
+  while (!heap_.empty() && slots_[heap_.front().slot].cancelled) {
+    freeSlot(heap_.front().slot);
+    removeHeapTop();
+  }
+}
+
+const EventKey* ShardQueue::peek() {
+  skipCancelled();
+  return heap_.empty() ? nullptr : &heap_.front().key;
+}
+
+bool ShardQueue::popFront(Time& time, InlineTask& task, const char*& label) {
+  ECGRID_REQUIRE(executing_ == kNoSlot,
+                 "previous event not finished (finishExecuting missing)");
+  skipCancelled();
+  if (heap_.empty()) return false;
+  std::uint32_t index = heap_.front().slot;
+  Slot& slot = slots_[index];
+  time = slot.time;
+  task = std::move(slot.task);
+  slot.task.reset();
+  label = slot.label;
+  removeHeapTop();
+  executing_ = index;
+  return true;
+}
+
+void ShardQueue::finishExecuting() {
+  if (executing_ == kNoSlot) return;
+  freeSlot(executing_);
+  executing_ = kNoSlot;
+}
+
+void ShardQueue::cancelSlot(std::uint32_t slot, std::uint32_t generation) {
+  if (slot >= slots_.size()) return;
+  Slot& record = slots_[slot];
+  if (!record.live || record.generation != generation) return;
+  record.cancelled = true;
+  // Release the closure eagerly, matching the serial queue.
+  record.task.reset();
+}
+
+bool ShardQueue::slotPending(std::uint32_t slot,
+                             std::uint32_t generation) const {
+  if (slot >= slots_.size()) return false;
+  const Slot& record = slots_[slot];
+  return record.live && record.generation == generation && !record.cancelled;
+}
+
+}  // namespace ecgrid::sim::sharded

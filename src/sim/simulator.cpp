@@ -1,24 +1,89 @@
 #include "sim/simulator.hpp"
 
 #include <chrono>  // ecgrid-lint: allow(banned-random)
+#include <utility>
 
 #include "sim/probe.hpp"
+#include "sim/sharded/engine.hpp"
 #include "util/error.hpp"
 
 namespace ecgrid::sim {
 
 Simulator::Simulator(std::uint64_t masterSeed) : rngFactory_(masterSeed) {}
 
+// Out of line for the unique_ptr over the forward-declared engine.
+Simulator::~Simulator() = default;
+
+void Simulator::enableSharding(const sharded::ShardedEngineConfig& config) {
+  ECGRID_REQUIRE(engine_ == nullptr, "sharding already enabled");
+  ECGRID_REQUIRE(eventsExecuted_ == 0 && queue_.empty(),
+                 "enableSharding must precede all scheduling");
+  engine_ = std::make_unique<sharded::ShardedEngine>(config);
+  if (queue_.tieBreakPerturbed()) {
+    // perturbTieBreaks() ran first; arm the engine with the same stream.
+    // Both sides draw once per push from a fresh "check/tiebreak"
+    // stream, so the key sequences coincide.
+    engine_->perturbTieBreak(rngFactory_.stream("check/tiebreak"));
+  }
+}
+
+void Simulator::registerShardHost(std::uint64_t ownerKey,
+                                  std::function<double()> xProvider) {
+  if (engine_ != nullptr) engine_->registerHost(ownerKey, std::move(xProvider));
+}
+
+Simulator::HostScope::HostScope(Simulator& sim, std::uint64_t ownerKey)
+    : engine_(sim.engine_.get()) {
+  if (engine_ != nullptr) previousShard_ = engine_->enterHost(ownerKey);
+}
+
+Simulator::HostScope::~HostScope() {
+  if (engine_ != nullptr) engine_->exitHost(previousShard_);
+}
+
 EventHandle Simulator::schedule(Time delay, std::function<void()> action,
                                 const char* label) {
   ECGRID_REQUIRE(delay >= 0.0, "cannot schedule into the past");
+  if (engine_ != nullptr) {
+    return engine_->pushLocal(now_ + delay, std::move(action), label);
+  }
   return queue_.push(now_ + delay, std::move(action), label);
 }
 
 EventHandle Simulator::scheduleAt(Time when, std::function<void()> action,
                                   const char* label) {
   ECGRID_REQUIRE(when >= now_, "cannot schedule into the past");
+  if (engine_ != nullptr) {
+    return engine_->pushLocal(when, std::move(action), label);
+  }
   return queue_.push(when, std::move(action), label);
+}
+
+EventHandle Simulator::scheduleFor(std::uint64_t ownerKey, Time delay,
+                                   std::function<void()> action,
+                                   const char* label) {
+  ECGRID_REQUIRE(delay >= 0.0, "cannot schedule into the past");
+  if (engine_ != nullptr) {
+    return engine_->pushFor(ownerKey, now_ + delay, std::move(action), label);
+  }
+  return queue_.push(now_ + delay, std::move(action), label);
+}
+
+Time Simulator::nextEventTime() {
+  return engine_ != nullptr ? engine_->nextEventTime() : queue_.peekTime();
+}
+
+void Simulator::perturbTieBreaks() {
+  if (engine_ != nullptr) {
+    engine_->perturbTieBreak(rngFactory_.stream("check/tiebreak"));
+    return;
+  }
+  queue_.perturbTieBreak(rngFactory_.stream("check/tiebreak"));
+}
+
+bool Simulator::tieBreaksPerturbed() const {
+  return engine_ != nullptr ? engine_->tieBreakPerturbed()
+                            : queue_.tieBreakPerturbed();
 }
 
 void Simulator::setPeriodicHook(std::uint64_t everyEvents,
@@ -30,6 +95,7 @@ void Simulator::setPeriodicHook(std::uint64_t everyEvents,
 }
 
 bool Simulator::step(Time until) {
+  if (engine_ != nullptr) return stepSharded(until);
   if (queue_.peekTime() > until) return false;
   Time time = kTimeZero;
   std::function<void()> action;
@@ -50,10 +116,41 @@ bool Simulator::step(Time until) {
     const double wallSeconds =
         std::chrono::duration<double>(wallEnd - wallStart).count();
     probe_->onEvent(label, wallSeconds, now_, eventsExecuted_,
-                    queue_.sizeIncludingCancelled());
+                    queue_.sizeIncludingCancelled(), 0);
   } else {
     action();
   }
+  if (hook_ && eventsExecuted_ % hookEvery_ == 0) hook_();
+  return true;
+}
+
+bool Simulator::stepSharded(Time until) {
+  // Mirror of the serial step() above, event for event: same clock
+  // advance, same counter bump, same probe and hook points — the engine
+  // only changes where the event record lives.
+  if (engine_->nextEventTime() > until) return false;
+  Time time = kTimeZero;
+  sharded::InlineTask task;
+  const char* label = nullptr;
+  int shard = 0;
+  if (!engine_->popNext(time, task, label, shard)) return false;
+  now_ = time;
+  ++eventsExecuted_;
+  if (probe_ != nullptr) {
+    // ecgrid-lint: allow(banned-random)
+    const auto wallStart = std::chrono::steady_clock::now();
+    task();
+    // ecgrid-lint: allow(banned-random)
+    const auto wallEnd = std::chrono::steady_clock::now();
+    const double wallSeconds =
+        std::chrono::duration<double>(wallEnd - wallStart).count();
+    probe_->onEvent(label, wallSeconds, now_, eventsExecuted_,
+                    engine_->queueDepthTotal(), shard);
+  } else {
+    task();
+  }
+  task.reset();
+  engine_->finishCurrent();
   if (hook_ && eventsExecuted_ % hookEvery_ == 0) hook_();
   return true;
 }

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "sim/event.hpp"
@@ -32,9 +33,22 @@ namespace ecgrid::sim {
 
 class ExecutionProbe;
 
+namespace sharded {
+class ShardedEngine;
+struct ShardedEngineConfig;
+}  // namespace sharded
+
+/// Stable owner key for host-directed events (scheduleFor / the sharded
+/// engine's host registry), derived from a net::NodeId without the sim
+/// layer depending on net/.
+constexpr std::uint64_t hostEventKey(std::int32_t hostId) {
+  return static_cast<std::uint64_t>(static_cast<std::uint32_t>(hostId));
+}
+
 class ECGRID_DOMAIN_PER_SCENARIO Simulator {
  public:
   explicit Simulator(std::uint64_t masterSeed = 1);
+  ~Simulator();
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -54,6 +68,18 @@ class ECGRID_DOMAIN_PER_SCENARIO Simulator {
   EventHandle scheduleAt(Time when, std::function<void()> action,
                          const char* label = nullptr);
 
+  /// Schedule `action` on behalf of host `ownerKey` (hostEventKey of its
+  /// node id) — the boundary-crossing entry point for shared-medium
+  /// deliveries (phy::Channel, phy::PagingChannel). On the serial engine
+  /// this is exactly schedule(); on the sharded engine the event is
+  /// routed to the shard owning that host, crossing an edge mailbox when
+  /// the sender executes elsewhere. Cross-shard deliveries are fire-and-
+  /// forget: the returned handle is inert for them (every call site
+  /// discards it).
+  EventHandle scheduleFor(std::uint64_t ownerKey, Time delay,
+                          std::function<void()> action,
+                          const char* label = nullptr);
+
   /// Run events until the queue drains or the clock passes `until`.
   /// Events scheduled exactly at `until` are executed.
   void run(Time until = kTimeNever);
@@ -68,7 +94,40 @@ class ECGRID_DOMAIN_PER_SCENARIO Simulator {
   std::uint64_t eventsExecuted() const { return eventsExecuted_; }
 
   /// Time of the next live event, or kTimeNever when the queue is empty.
-  Time nextEventTime() { return queue_.peekTime(); }
+  Time nextEventTime();
+
+  /// Swap the serial event queue for the sharded engine
+  /// (sim/sharded/engine.hpp, sequenced mode). Must be called before
+  /// anything is scheduled; the run then commits events in the identical
+  /// global order the serial queue would (the digest-parity contract).
+  /// The serial path is the oracle: with this never called, scheduling
+  /// and stepping do not touch the engine at all.
+  void enableSharding(const sharded::ShardedEngineConfig& config);
+
+  /// The sharded engine, or nullptr on the serial path.
+  sharded::ShardedEngine* shardedEngine() const { return engine_.get(); }
+
+  /// Register host `ownerKey` with a live x-position provider so the
+  /// sharded engine can derive (and migrate) its owning shard. No-op on
+  /// the serial path.
+  void registerShardHost(std::uint64_t ownerKey,
+                         std::function<double()> xProvider);
+
+  /// RAII host-execution context: while alive, events scheduled without
+  /// an owner key land on `ownerKey`'s shard — placed in the per-host
+  /// entry points (Node::start/restart/sendFromApp) so timer chains
+  /// inherit their host's shard. Null-safe: free on the serial path.
+  class HostScope {
+   public:
+    HostScope(Simulator& sim, std::uint64_t ownerKey);
+    ~HostScope();
+    HostScope(const HostScope&) = delete;
+    HostScope& operator=(const HostScope&) = delete;
+
+   private:
+    sharded::ShardedEngine* engine_;
+    int previousShard_ = 0;
+  };
 
   /// Determinism-analysis debug mode: randomise the tie-break among
   /// equal-time events using the dedicated "check/tiebreak" stream (see
@@ -77,10 +136,8 @@ class ECGRID_DOMAIN_PER_SCENARIO Simulator {
   /// deterministic in the master seed; it is *different* from the
   /// unperturbed run exactly when some component depends on the order
   /// of same-instant events.
-  void perturbTieBreaks() {
-    queue_.perturbTieBreak(rngFactory_.stream("check/tiebreak"));
-  }
-  bool tieBreaksPerturbed() const { return queue_.tieBreakPerturbed(); }
+  void perturbTieBreaks();
+  bool tieBreaksPerturbed() const;
 
   /// Install `hook` to run after every `everyEvents`-th executed event
   /// (the invariant auditor hangs off this). The hook must not assume it
@@ -104,12 +161,16 @@ class ECGRID_DOMAIN_PER_SCENARIO Simulator {
   const RngFactory& rng() const { return rngFactory_; }
 
  private:
+  bool stepSharded(Time until);
+
   Time now_ = kTimeZero;
   bool stopRequested_ = false;
   std::uint64_t eventsExecuted_ = 0;
   std::uint64_t hookEvery_ = 0;
   std::function<void()> hook_;
   EventQueue queue_;
+  /// Sharded engine (sequenced mode); nullptr = serial oracle path.
+  std::unique_ptr<sharded::ShardedEngine> engine_;
   RngFactory rngFactory_;
   obs::Observability* observability_ = nullptr;
   ExecutionProbe* probe_ = nullptr;

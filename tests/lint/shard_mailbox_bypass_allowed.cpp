@@ -1,0 +1,39 @@
+// ecgrid-lint-fixture-path: src/phy/channel.cpp
+// ecgrid-lint-fixture: expect-clean
+//
+// The sanctioned shapes in shared-medium code: host-directed deliveries
+// through scheduleFor (the mailbox API), and a hub-owned self-timer
+// carrying a justified allow().
+
+using uint64 = unsigned long long;
+
+inline constexpr uint64 hostEventKey(int hostId) {
+  return static_cast<uint64>(hostId);
+}
+
+struct Radio {
+  int id() const { return 7; }
+};
+
+struct Simulator {
+  template <class F>
+  void schedule(double delay, F&& action, const char* label) {}
+  template <class F>
+  void scheduleFor(uint64 ownerKey, double delay, F&& action,
+                   const char* label) {}
+};
+
+struct Channel {
+  void deliverTo(Radio* receiver, double delay) {
+    // Boundary event: routed to the receiving host's shard.
+    sim_.scheduleFor(hostEventKey(receiver->id()), delay,
+                     [receiver] { (void)receiver; }, "phy/deliver");
+  }
+  void armSelfTimer() {
+    // Channel-owned housekeeping: executes in the hub/sender context by
+    // design, touches no per-host state.
+    // ecgrid-lint: allow(shard-mailbox-bypass)
+    sim_.schedule(1.0, [] {}, "phy/housekeeping");
+  }
+  Simulator sim_;
+};

@@ -1,0 +1,23 @@
+// ecgrid-lint-fixture-path: src/phy/channel.cpp
+// ecgrid-lint-fixture: expect-violation(shard-mailbox-bypass)
+//
+// A shared-medium delivery scheduled with plain schedule(): the event
+// lands on whatever shard the *sender* is executing on, bypassing the
+// receiving host's edge mailbox. The channel must use
+// scheduleFor(hostEventKey(receiver->id()), ...) instead.
+
+struct Radio {
+  int id() const { return 7; }
+};
+
+struct Simulator {
+  template <class F>
+  void schedule(double delay, F&& action, const char* label) {}
+};
+
+struct Channel {
+  void deliverTo(Radio* receiver, double delay) {
+    sim_.schedule(delay, [receiver] { (void)receiver; }, "phy/deliver");
+  }
+  Simulator sim_;
+};

@@ -1,0 +1,560 @@
+// Sharded parallel event engine (sim/sharded): digest parity against the
+// serial oracle, shard-count invariance, boundary-event mechanics, and
+// the windowed conservative mode.
+//
+// The headline guarantees under test:
+//   * oracle parity — a sharded scenario run (shards > 1) produces a
+//     digest trace BYTE-IDENTICAL to the serial engine's, for every
+//     shipped protocol and under an active fault plan;
+//   * shard-count invariance — 1/2/4/8 shards agree on digest traces,
+//     results, and the full metrics snapshot;
+//   * boundary events — frames/pages crossing stripe edges travel the
+//     per-edge mailboxes, and mobility-driven ownership migration is
+//     observed and counted;
+//   * tie-order perturbation — the determinism harness's perturbed mode
+//     reproduces the perturbed serial run exactly on the sharded engine;
+//   * windowed mode — the conservative LBTS loop executes the same
+//     schedule whether shards run inline or on a worker pool.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "harness/scenario.hpp"
+#include "sim/sharded/engine.hpp"
+#include "sim/sharded/lookahead.hpp"
+#include "sim/sharded/mailbox.hpp"
+#include "sim/sharded/shard_map.hpp"
+#include "sim/sharded/shard_queue.hpp"
+#include "sim/sharded/task.hpp"
+#include "sim/simulator.hpp"
+
+namespace ecgrid {
+namespace {
+
+using sim::sharded::EventKey;
+using sim::sharded::InlineTask;
+
+// ---------------------------------------------------------------------------
+// InlineTask storage semantics
+// ---------------------------------------------------------------------------
+
+TEST(InlineTask, InvokesInlineCallable) {
+  int hits = 0;
+  InlineTask task([&hits] { ++hits; });
+  ASSERT_TRUE(static_cast<bool>(task));
+  task();
+  task();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineTask, MoveTransfersOwnership) {
+  int hits = 0;
+  InlineTask a([&hits] { ++hits; });
+  InlineTask b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+  InlineTask c;
+  c = std::move(b);
+  ASSERT_TRUE(static_cast<bool>(c));
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineTask, OversizedCallableBoxesOnHeapWithSameSemantics) {
+  // Capture well past kInlineBytes to force the heap-box path.
+  struct Big {
+    double padding[32] = {};
+  };
+  Big big;
+  big.padding[31] = 7.0;
+  double seen = 0.0;
+  static_assert(sizeof(Big) > InlineTask::kInlineBytes);
+  InlineTask task([big, &seen] { seen = big.padding[31]; });
+  InlineTask moved(std::move(task));
+  moved();
+  EXPECT_DOUBLE_EQ(seen, 7.0);
+  moved.reset();
+  EXPECT_FALSE(static_cast<bool>(moved));
+}
+
+TEST(InlineTask, HoldsStdFunctionWithoutReWrapping) {
+  int hits = 0;
+  std::function<void()> fn = [&hits] { ++hits; };
+  InlineTask task(std::move(fn));
+  task();
+  EXPECT_EQ(hits, 1);
+}
+
+// ---------------------------------------------------------------------------
+// ShardQueue: ordering, cancellation, executing-slot semantics
+// ---------------------------------------------------------------------------
+
+TEST(ShardQueue, PopsInGlobalKeyOrder) {
+  sim::sharded::ShardQueue queue;
+  std::vector<int> order;
+  // Same time, distinct tie keys; then an earlier time.
+  queue.push(EventKey{5.0, 3, 3}, InlineTask([&] { order.push_back(3); }),
+             nullptr);
+  queue.push(EventKey{5.0, 1, 1}, InlineTask([&] { order.push_back(1); }),
+             nullptr);
+  queue.push(EventKey{2.0, 9, 9}, InlineTask([&] { order.push_back(0); }),
+             nullptr);
+  sim::Time time = 0.0;
+  InlineTask task;
+  const char* label = nullptr;
+  while (queue.popFront(time, task, label)) {
+    task();
+    task.reset();
+    queue.finishExecuting();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 3}));
+}
+
+TEST(ShardQueue, CancelledEventsAreSkippedAndHandlesReport) {
+  sim::sharded::ShardQueue queue;
+  int fired = 0;
+  sim::EventHandle keep = queue.push(
+      EventKey{1.0, 0, 0}, InlineTask([&fired] { ++fired; }), nullptr);
+  sim::EventHandle drop = queue.push(
+      EventKey{1.0, 1, 1}, InlineTask([&fired] { ++fired; }), nullptr);
+  EXPECT_TRUE(keep.pending());
+  EXPECT_TRUE(drop.pending());
+  drop.cancel();
+  EXPECT_FALSE(drop.pending());
+  sim::Time time = 0.0;
+  InlineTask task;
+  const char* label = nullptr;
+  while (queue.popFront(time, task, label)) {
+    task();
+    task.reset();
+    queue.finishExecuting();
+  }
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(keep.pending());
+}
+
+TEST(ShardQueue, HandleStaysPendingDuringOwnCallback) {
+  // Mirrors the serial queue's recycle-on-next-pop semantics.
+  sim::sharded::ShardQueue queue;
+  sim::EventHandle handle;
+  bool pendingDuringCallback = false;
+  handle = queue.push(EventKey{1.0, 0, 0}, InlineTask([&] {
+                        pendingDuringCallback = handle.pending();
+                      }),
+                      nullptr);
+  sim::Time time = 0.0;
+  InlineTask task;
+  const char* label = nullptr;
+  ASSERT_TRUE(queue.popFront(time, task, label));
+  task();
+  task.reset();
+  EXPECT_TRUE(pendingDuringCallback);
+  EXPECT_TRUE(handle.pending());  // not yet recycled
+  queue.finishExecuting();
+  EXPECT_FALSE(handle.pending());
+}
+
+// ---------------------------------------------------------------------------
+// EdgeMailbox: sorted deterministic drains + causality floor
+// ---------------------------------------------------------------------------
+
+TEST(EdgeMailbox, DrainsSortedByGlobalKey) {
+  sim::sharded::EdgeMailbox mailbox;
+  sim::sharded::ShardQueue queue;
+  std::vector<int> order;
+  mailbox.post(EventKey{3.0, 5, 5}, InlineTask([&] { order.push_back(5); }),
+               nullptr, sim::kTimeZero);
+  mailbox.post(EventKey{3.0, 2, 2}, InlineTask([&] { order.push_back(2); }),
+               nullptr, sim::kTimeZero);
+  mailbox.post(EventKey{1.0, 8, 8}, InlineTask([&] { order.push_back(8); }),
+               nullptr, sim::kTimeZero);
+  EXPECT_EQ(mailbox.pendingCount(), 3u);
+  EXPECT_EQ(mailbox.drainInto(queue), 3u);
+  EXPECT_EQ(mailbox.pendingCount(), 0u);
+  sim::Time time = 0.0;
+  InlineTask task;
+  const char* label = nullptr;
+  while (queue.popFront(time, task, label)) {
+    task();
+    task.reset();
+    queue.finishExecuting();
+  }
+  EXPECT_EQ(order, (std::vector<int>{8, 2, 5}));
+}
+
+TEST(EdgeMailbox, RejectsPostsBelowTheCausalityFloor) {
+  sim::sharded::EdgeMailbox mailbox;
+  EXPECT_THROW(mailbox.post(EventKey{1.0, 0, 0}, InlineTask([] {}), nullptr,
+                            /*notBefore=*/2.0),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// ShardMap: stripes, hub fallback, migration accounting
+// ---------------------------------------------------------------------------
+
+TEST(ShardMap, StripesTheFieldWithEdgeClamping) {
+  sim::sharded::ShardMap map(1000.0, 4);
+  EXPECT_EQ(map.shardOfX(0.0), 0);
+  EXPECT_EQ(map.shardOfX(249.0), 0);
+  EXPECT_EQ(map.shardOfX(250.0), 1);
+  EXPECT_EQ(map.shardOfX(999.0), 3);
+  EXPECT_EQ(map.shardOfX(-5.0), 0);     // clamped
+  EXPECT_EQ(map.shardOfX(1500.0), 3);   // clamped
+}
+
+TEST(ShardMap, UnknownHostsBelongToTheHubShard) {
+  sim::sharded::ShardMap map(1000.0, 4);
+  EXPECT_FALSE(map.knowsHost(77));
+  EXPECT_EQ(map.shardOfHost(77), sim::sharded::ShardMap::kHubShard);
+  EXPECT_EQ(map.migrations(), 0u);
+}
+
+TEST(ShardMap, MigrationIsObservedWhenAHostCrossesAStripeEdge) {
+  sim::sharded::ShardMap map(1000.0, 4);
+  double x = 100.0;
+  map.registerHost(1, [&x] { return x; });
+  EXPECT_TRUE(map.knowsHost(1));
+  EXPECT_EQ(map.shardOfHost(1), 0);
+  EXPECT_EQ(map.migrations(), 0u);
+  x = 600.0;  // crosses from stripe 0 into stripe 2
+  EXPECT_EQ(map.shardOfHost(1), 2);
+  EXPECT_EQ(map.migrations(), 1u);
+  EXPECT_EQ(map.shardOfHost(1), 2);  // stable lookups do not re-count
+  EXPECT_EQ(map.migrations(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Sequenced engine mechanics through the Simulator facade
+// ---------------------------------------------------------------------------
+
+/// Identical schedule on a serial and a 4-shard simulator: per-host timer
+/// chains plus cross-owner deliveries. Returns the execution order.
+std::vector<int> facadeExecutionOrder(int shards) {
+  sim::Simulator simulator(5);
+  if (shards > 1) {
+    sim::sharded::ShardedEngineConfig config;
+    config.shards = shards;
+    config.fieldWidth = 1000.0;
+    simulator.enableSharding(config);
+  }
+  // Four hosts pinned across the stripes.
+  std::vector<double> xs = {50.0, 300.0, 550.0, 800.0};
+  for (int host = 0; host < 4; ++host) {
+    simulator.registerShardHost(sim::hostEventKey(host),
+                                [&xs, host] { return xs[host]; });
+  }
+  std::vector<int> order;
+  for (int host = 0; host < 4; ++host) {
+    sim::Simulator::HostScope scope(simulator, sim::hostEventKey(host));
+    simulator.schedule(1.0 + host * 0.25, [&simulator, &order, host] {
+      order.push_back(host);
+      // Cross-owner delivery to the host two stripes over.
+      const int peer = (host + 2) % 4;
+      simulator.scheduleFor(sim::hostEventKey(peer), 0.5,
+                            [&order, peer] { order.push_back(100 + peer); });
+    });
+  }
+  simulator.run(10.0);
+  return order;
+}
+
+TEST(ShardedFacade, ExecutionOrderMatchesTheSerialOracle) {
+  const std::vector<int> serial = facadeExecutionOrder(1);
+  EXPECT_EQ(facadeExecutionOrder(2), serial);
+  EXPECT_EQ(facadeExecutionOrder(4), serial);
+  EXPECT_EQ(serial.size(), 8u);
+}
+
+TEST(ShardedFacade, CrossShardDeliveriesAreCountedAndHubIsDefault) {
+  sim::Simulator simulator(6);
+  sim::sharded::ShardedEngineConfig config;
+  config.shards = 4;
+  config.fieldWidth = 1000.0;
+  simulator.enableSharding(config);
+  sim::sharded::ShardedEngine* engine = simulator.shardedEngine();
+  ASSERT_NE(engine, nullptr);
+  EXPECT_EQ(engine->currentShard(), sim::sharded::ShardMap::kHubShard);
+  simulator.registerShardHost(sim::hostEventKey(1), [] { return 900.0; });
+  int fired = 0;
+  // Hub context (shard 0) → host 1's stripe (shard 3): a boundary event.
+  simulator.scheduleFor(sim::hostEventKey(1), 1.0, [&fired] { ++fired; });
+  simulator.run(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine->crossShardEvents(), 1u);
+}
+
+TEST(ShardedFacade, EnableShardingAfterSchedulingIsRejected) {
+  sim::Simulator simulator(7);
+  simulator.schedule(1.0, [] {});
+  sim::sharded::ShardedEngineConfig config;
+  config.shards = 2;
+  EXPECT_THROW(simulator.enableSharding(config), std::invalid_argument);
+}
+
+TEST(ShardedFacade, PerturbedTieOrderMatchesThePerturbedSerialRun) {
+  auto perturbedOrder = [](int shards) {
+    sim::Simulator simulator(13);
+    simulator.perturbTieBreaks();
+    if (shards > 1) {
+      sim::sharded::ShardedEngineConfig config;
+      config.shards = shards;
+      simulator.enableSharding(config);
+    }
+    std::vector<int> order;
+    for (int i = 0; i < 32; ++i) {
+      simulator.schedule(1.0, [i, &order] { order.push_back(i); });
+    }
+    simulator.run();
+    return order;
+  };
+  const std::vector<int> serial = perturbedOrder(1);
+  EXPECT_EQ(perturbedOrder(4), serial);
+  // And the perturbation is actually live (not insertion order).
+  std::vector<int> insertion(32);
+  for (int i = 0; i < 32; ++i) insertion[static_cast<std::size_t>(i)] = i;
+  EXPECT_NE(serial, insertion);
+}
+
+// ---------------------------------------------------------------------------
+// Windowed conservative mode
+// ---------------------------------------------------------------------------
+
+/// PHOLD-style workload: per-shard self-rescheduling timers that
+/// periodically hand off to the next shard with delay >= lookahead.
+/// Returns per-shard (executions, time-weighted checksum) folded into a
+/// vector comparable across worker counts.
+std::vector<std::uint64_t> windowedChecksums(int shards, int workers) {
+  sim::sharded::ShardedEngineConfig config;
+  config.shards = shards;
+  config.fieldWidth = 1000.0;
+  config.lookaheadSeconds = sim::sharded::conservativeLookahead(
+      /*gapMeters=*/0.0, /*propagationSpeedMps=*/3e8,
+      /*preambleSeconds=*/192e-6, /*minFrameBytes=*/40, /*bitrateBps=*/2e6);
+  sim::sharded::ShardedEngine engine(config);
+
+  struct ShardState {
+    std::uint64_t checksum = 0;
+    std::uint64_t rng = 0;
+  };
+  std::vector<ShardState> states(static_cast<std::size_t>(shards));
+
+  struct Timer {
+    sim::sharded::ShardedEngine* engine;
+    sim::sharded::ShardedEngine::ShardContext* context;
+    std::vector<ShardState>* states;
+    int hops;
+    void operator()() {
+      const int shard = context->shard();
+      ShardState& state = (*states)[static_cast<std::size_t>(shard)];
+      state.rng = state.rng * 6364136223846793005ULL + 1442695040888963407ULL;
+      state.checksum ^= state.rng + static_cast<std::uint64_t>(
+                                        context->now() * 1e9);
+      if (hops <= 0) return;
+      const double lookahead = engine->lookaheadSeconds();
+      Timer next = *this;
+      --next.hops;
+      if (state.rng % 4 == 0 && engine->shardCount() > 1) {
+        const int target = (shard + 1) % engine->shardCount();
+        next.context = &engine->shardContext(target);
+        context->postRemote(target, lookahead * (1.0 + (state.rng % 7)),
+                            InlineTask(next), "bench/hop");
+      } else {
+        context->postLocal(lookahead * 0.25 * (1 + (state.rng % 5)),
+                           InlineTask(next), "bench/tick");
+      }
+    }
+  };
+  static_assert(sizeof(Timer) <= InlineTask::kInlineBytes);
+
+  for (int s = 0; s < shards; ++s) {
+    states[static_cast<std::size_t>(s)].rng =
+        0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(s + 1);
+    for (int i = 0; i < 8; ++i) {
+      Timer timer{&engine, &engine.shardContext(s), &states, 200};
+      engine.seedWindowed(s, 1e-5 * (i + 1), InlineTask(timer), "bench/seed");
+    }
+  }
+  const sim::sharded::WindowedStats stats = engine.runWindowed(workers, 10.0);
+  EXPECT_GT(stats.eventsExecuted, 0u);
+  EXPECT_GT(stats.windows, 0u);
+  if (shards > 1) {
+    EXPECT_GT(stats.remotePosted, 0u);
+  }
+  std::vector<std::uint64_t> out;
+  out.reserve(states.size());
+  for (const ShardState& state : states) out.push_back(state.checksum);
+  return out;
+}
+
+TEST(WindowedEngine, WorkerPoolMatchesInlineExecution) {
+  // The window schedule is independent of the worker count: inline
+  // (workers=1) and threaded (workers=4) runs must agree bit-for-bit.
+  // Under the tsan preset this is also the engine's data-race gate.
+  const std::vector<std::uint64_t> inline4 = windowedChecksums(4, 1);
+  EXPECT_EQ(windowedChecksums(4, 4), inline4);
+  EXPECT_EQ(windowedChecksums(4, 2), inline4);
+}
+
+TEST(WindowedEngine, SingleShardDegeneratesCleanly) {
+  const std::vector<std::uint64_t> one = windowedChecksums(1, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_NE(one[0], 0u);
+}
+
+TEST(WindowedEngine, RemotePostBelowLookaheadIsRejected) {
+  sim::sharded::ShardedEngineConfig config;
+  config.shards = 2;
+  config.lookaheadSeconds = 1.0;
+  sim::sharded::ShardedEngine engine(config);
+  sim::sharded::ShardedEngine::ShardContext& context = engine.shardContext(0);
+  EXPECT_THROW(context.postRemote(1, 0.5, InlineTask([] {})),
+               std::invalid_argument);
+}
+
+TEST(WindowedEngine, RequiresAPositiveLookahead) {
+  sim::sharded::ShardedEngineConfig config;
+  config.shards = 2;
+  config.lookaheadSeconds = 0.0;
+  sim::sharded::ShardedEngine engine(config);
+  EXPECT_THROW(engine.runWindowed(1, 1.0), std::invalid_argument);
+}
+
+TEST(Lookahead, DerivesFromChannelQuantities) {
+  // Paper channel: 2 Mbps, 192 µs preamble. A 40-byte minimum frame
+  // serialises in 160 µs; zero gap contributes nothing.
+  const double lookahead = sim::sharded::conservativeLookahead(
+      0.0, 3e8, 192e-6, 40, 2e6);
+  EXPECT_NEAR(lookahead, 192e-6 + 160e-6, 1e-12);
+  // A 300 m gap at c adds 1 µs.
+  EXPECT_NEAR(sim::sharded::conservativeLookahead(300.0, 3e8, 0.0, 0, 2e6),
+              1e-6, 1e-12);
+  EXPECT_THROW(sim::sharded::conservativeLookahead(0.0, 0.0, 0.0, 0, 2e6),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Full-scenario oracle parity (GRID / ECGRID / GAF / faulted)
+// ---------------------------------------------------------------------------
+
+harness::ScenarioConfig parityBase() {
+  harness::ScenarioConfig config;
+  config.hostCount = 30;
+  config.flowCount = 2;
+  config.packetsPerSecondPerFlow = 4.0;
+  config.duration = 60.0;
+  config.seed = 33;
+  config.digestEveryEvents = 1000;
+  return config;
+}
+
+void expectSameRun(const harness::ScenarioResult& serial,
+                   const harness::ScenarioResult& sharded) {
+  ASSERT_FALSE(serial.digestTrace.empty());
+  // Byte-identical digest traces: same events executed at every sample
+  // point, same times, same FNV-1a state digests.
+  EXPECT_EQ(serial.digestTrace, sharded.digestTrace);
+  EXPECT_EQ(serial.eventsExecuted, sharded.eventsExecuted);
+  EXPECT_EQ(serial.packetsSent, sharded.packetsSent);
+  EXPECT_EQ(serial.packetsReceived, sharded.packetsReceived);
+  EXPECT_EQ(serial.framesTransmitted, sharded.framesTransmitted);
+  EXPECT_EQ(serial.macFramesSent, sharded.macFramesSent);
+  EXPECT_EQ(serial.pagesSent, sharded.pagesSent);
+  EXPECT_EQ(serial.metrics, sharded.metrics);
+}
+
+class ShardedOracleParity
+    : public ::testing::TestWithParam<harness::ProtocolKind> {};
+
+TEST_P(ShardedOracleParity, DigestTraceMatchesSerialAtFourShards) {
+  harness::ScenarioConfig config = parityBase();
+  config.protocol = GetParam();
+  const harness::ScenarioResult serial = harness::runScenario(config);
+  config.shards = 4;
+  const harness::ScenarioResult sharded = harness::runScenario(config);
+  expectSameRun(serial, sharded);
+  EXPECT_EQ(serial.crossShardEvents, 0u);
+  EXPECT_GT(sharded.crossShardEvents, 0u);  // boundary traffic existed
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, ShardedOracleParity,
+                         ::testing::Values(harness::ProtocolKind::kGrid,
+                                           harness::ProtocolKind::kEcgrid,
+                                           harness::ProtocolKind::kGaf));
+
+TEST(ShardedOracleParityFaulted, DigestTraceMatchesSerialUnderFaults) {
+  harness::ScenarioConfig config = parityBase();
+  config.protocol = harness::ProtocolKind::kEcgrid;
+  config.fault.channel.kind = fault::ChannelErrorKind::kIid;
+  config.fault.channel.lossProbability = 0.05;
+  config.fault.hosts.crashes.push_back({4, 10.0, 30.0});
+  config.fault.paging.lossProbability = 0.05;
+  const harness::ScenarioResult serial = harness::runScenario(config);
+  config.shards = 4;
+  const harness::ScenarioResult sharded = harness::runScenario(config);
+  expectSameRun(serial, sharded);
+}
+
+TEST(ShardedScenario, ShardCountInvariance) {
+  // 1 vs 2 vs 4 vs 8 shards: byte-identical digest traces, results, and
+  // metrics snapshots (engine counters deliberately live outside the
+  // registry so this holds exactly).
+  harness::ScenarioConfig config = parityBase();
+  config.protocol = harness::ProtocolKind::kEcgrid;
+  const harness::ScenarioResult reference = harness::runScenario(config);
+  for (int shards : {2, 4, 8}) {
+    config.shards = shards;
+    const harness::ScenarioResult run = harness::runScenario(config);
+    expectSameRun(reference, run);
+  }
+}
+
+TEST(ShardedScenario, TieOrderPerturbationPassesOnTheShardedEngine) {
+  // The PR-4 tie-order gate, re-run with the sharded engine underneath:
+  // the perturbed sharded run must agree with the perturbed serial run
+  // sample-for-sample, and the final digest must match the unperturbed
+  // one (no order dependence introduced by sharding).
+  harness::ScenarioConfig config = parityBase();
+  config.protocol = harness::ProtocolKind::kEcgrid;
+  const harness::ScenarioResult plain = harness::runScenario(config);
+  config.perturbTieBreak = true;
+  const harness::ScenarioResult perturbedSerial = harness::runScenario(config);
+  config.shards = 4;
+  const harness::ScenarioResult perturbedSharded =
+      harness::runScenario(config);
+  EXPECT_EQ(perturbedSerial.digestTrace, perturbedSharded.digestTrace);
+  ASSERT_FALSE(plain.digestTrace.empty());
+  EXPECT_EQ(plain.digestTrace.back().digest,
+            perturbedSharded.digestTrace.back().digest);
+}
+
+TEST(ShardedScenario, MobilityMigratesHostsAcrossShardBoundaries) {
+  harness::ScenarioConfig config = parityBase();
+  config.protocol = harness::ProtocolKind::kEcgrid;
+  config.maxSpeed = 20.0;  // fast hosts: stripe crossings are certain
+  config.duration = 120.0;
+  config.digestEveryEvents = 0;
+  config.shards = 4;
+  const harness::ScenarioResult result = harness::runScenario(config);
+  EXPECT_GT(result.shardMigrations, 0u);
+  EXPECT_GT(result.crossShardEvents, 0u);
+}
+
+TEST(ShardedScenario, SerialPathReportsNoShardActivity) {
+  harness::ScenarioConfig config = parityBase();
+  config.duration = 20.0;
+  config.digestEveryEvents = 0;
+  const harness::ScenarioResult result = harness::runScenario(config);
+  EXPECT_EQ(result.crossShardEvents, 0u);
+  EXPECT_EQ(result.shardMigrations, 0u);
+}
+
+}  // namespace
+}  // namespace ecgrid
