@@ -1,0 +1,186 @@
+#include "campaign/campaign_runner.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <fstream>
+
+#include "harness/parallel_runner.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace ecgrid::campaign {
+
+namespace {
+
+util::JsonObject resultToJson(const harness::ScenarioResult& result) {
+  util::JsonObject out;
+  out["packetsSent"] = static_cast<double>(result.packetsSent);
+  out["packetsReceived"] = static_cast<double>(result.packetsReceived);
+  out["abortedFlows"] = static_cast<double>(result.abortedFlows);
+  out["deliveryRate"] = result.deliveryRate;
+  out["meanLatencySeconds"] = result.meanLatencySeconds;
+  out["p50LatencySeconds"] = result.p50LatencySeconds;
+  out["p95LatencySeconds"] = result.p95LatencySeconds;
+  out["p99LatencySeconds"] = result.p99LatencySeconds;
+  out["framesTransmitted"] = static_cast<double>(result.framesTransmitted);
+  out["pagesSent"] = static_cast<double>(result.pagesSent);
+  out["eventsExecuted"] = static_cast<double>(result.eventsExecuted);
+  out["firstDeath"] = result.firstDeath;
+  out["networkDown"] = result.networkDown;
+  out["macFramesSent"] = static_cast<double>(result.macFramesSent);
+  out["macFramesDropped"] = static_cast<double>(result.macFramesDropped);
+  out["macRetransmissions"] =
+      static_cast<double>(result.macRetransmissions);
+  util::JsonObject metrics;
+  for (const auto& [name, value] : result.metrics) metrics[name] = value;
+  out["metrics"] = std::move(metrics);
+  return out;
+}
+
+std::string describeException(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown error";
+  }
+}
+
+}  // namespace
+
+std::set<std::string> completedFingerprints(
+    const std::vector<std::string>& paths) {
+  std::set<std::string> done;
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) continue;  // fresh campaign: nothing recorded yet
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      try {
+        const util::JsonValue record = util::parseJson(line);
+        const util::JsonValue* fingerprint = record.find("fingerprint");
+        if (fingerprint != nullptr) done.insert(fingerprint->asString());
+      } catch (const std::invalid_argument&) {
+        // Torn line (the process died mid-write): that run simply does
+        // not count as completed and will execute again.
+      }
+    }
+  }
+  return done;
+}
+
+std::string recordToJson(const std::string& campaignName, const RunSpec& run,
+                         const harness::ScenarioResult* result,
+                         const std::string& error) {
+  util::JsonObject record;
+  record["campaign"] = campaignName;
+  record["fingerprint"] = run.fingerprint;
+  record["seed"] = static_cast<double>(run.seed);
+  record["config"] = run.overrides;
+  record["ok"] = result != nullptr;
+  record["error"] = error;
+  if (result != nullptr) record["result"] = resultToJson(*result);
+  return util::JsonValue(std::move(record)).dump();
+}
+
+CampaignOutcome runCampaign(const CampaignSpec& spec,
+                            const CampaignOptions& options) {
+  ECGRID_REQUIRE(!options.resultsPath.empty(), "campaign needs a results path");
+  ECGRID_REQUIRE(options.workerCount >= 1, "workerCount must be >= 1");
+  ECGRID_REQUIRE(options.workerIndex >= 0 &&
+                     options.workerIndex < options.workerCount,
+                 "workerIndex out of range");
+
+  const std::vector<RunSpec> runs = expandCampaign(spec);
+  std::vector<std::string> resumePaths = options.resumeFrom;
+  resumePaths.push_back(options.resultsPath);
+  const std::set<std::string> done = completedFingerprints(resumePaths);
+
+  CampaignOutcome outcome;
+  outcome.totalRuns = runs.size();
+  std::vector<const RunSpec*> pending;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    // Stripe over the FULL expansion: worker ownership is independent of
+    // what happens to be completed, so two workers never share a run.
+    if (static_cast<int>(i % static_cast<std::size_t>(options.workerCount)) !=
+        options.workerIndex) {
+      continue;
+    }
+    ++outcome.stripeRuns;
+    if (done.count(runs[i].fingerprint) > 0) {
+      ++outcome.skipped;
+      continue;
+    }
+    pending.push_back(&runs[i]);
+  }
+
+  std::ofstream out(options.resultsPath, std::ios::app);
+  ECGRID_REQUIRE(static_cast<bool>(out), "cannot open campaign results file '" +
+                                             options.resultsPath +
+                                             "' for append");
+
+  const std::size_t batchSize = std::max(1u, options.jobs);
+  std::size_t cursor = 0;
+  while (cursor < pending.size()) {
+    if (options.maxRuns >= 0 &&
+        outcome.executed >= static_cast<std::size_t>(options.maxRuns)) {
+      break;
+    }
+    std::size_t batchEnd = std::min(pending.size(), cursor + batchSize);
+    if (options.maxRuns >= 0) {
+      const std::size_t budget =
+          static_cast<std::size_t>(options.maxRuns) - outcome.executed;
+      batchEnd = std::min(batchEnd, cursor + budget);
+    }
+
+    // Resolve the batch. A spec that names an unknown key fails at parse
+    // time, but value-level errors (e.g. a negative rate the workload
+    // plan rejects) surface here — record them, keep going.
+    std::vector<harness::ScenarioConfig> configs;
+    std::vector<const RunSpec*> batchRuns;
+    for (std::size_t i = cursor; i < batchEnd; ++i) {
+      const RunSpec& run = *pending[i];
+      try {
+        configs.push_back(resolveConfig(run.overrides, run.seed));
+        batchRuns.push_back(&run);
+      } catch (const std::exception& e) {
+        out << recordToJson(spec.name, run, nullptr, e.what()) << '\n';
+        ++outcome.executed;
+        ++outcome.failed;
+      }
+    }
+
+    std::vector<std::exception_ptr> failures;
+    const std::vector<harness::ScenarioResult> results =
+        harness::runScenariosParallel(configs, options.jobs, failures);
+    for (std::size_t i = 0; i < batchRuns.size(); ++i) {
+      ++outcome.executed;
+      if (failures[i] != nullptr) {
+        ++outcome.failed;
+        out << recordToJson(spec.name, *batchRuns[i], nullptr,
+                            describeException(failures[i]))
+            << '\n';
+      } else {
+        out << recordToJson(spec.name, *batchRuns[i], &results[i], "")
+            << '\n';
+      }
+    }
+    out.flush();
+    ECGRID_CHECK(static_cast<bool>(out),
+                 "writing campaign results failed (disk full?)");
+
+    if (options.progress) {
+      options.progress("campaign " + spec.name + ": " +
+                       std::to_string(outcome.skipped + outcome.executed) +
+                       "/" + std::to_string(outcome.stripeRuns) +
+                       " runs done (" + std::to_string(outcome.failed) +
+                       " failed)");
+    }
+    cursor = batchEnd;
+  }
+  return outcome;
+}
+
+}  // namespace ecgrid::campaign

@@ -1,0 +1,86 @@
+// Resumable campaign execution: sweep spec in, JSONL results out.
+//
+// runCampaign() expands a CampaignSpec (sweep_spec.hpp), subtracts every
+// run whose fingerprint already appears in the results file(s), and
+// executes the remainder in batches through the failure-collecting
+// runScenariosParallel — one poisoned config produces a failure record
+// and cannot perturb its neighbours. Each completed scenario appends ONE
+// line to the results file and flushes before the next batch starts, so
+// a kill at any instant loses at most the in-flight batch; restarting
+// with the same spec and results path re-reads the file, skips the
+// completed fingerprints, and finishes exactly the remaining runs
+// (tests/campaign_test.cpp proves the interrupted + resumed file equals
+// the uninterrupted one, order-normalized).
+//
+// Records are pure functions of (overrides, seed): no wall-clock or
+// hostname fields, numbers via the canonical %.17g dump. That is what
+// makes the resume-equality gate byte-exact rather than merely
+// approximate.
+//
+// Multi-process campaigns stripe the expansion: worker w of N owns runs
+// with index % N == w (index over the *post-resume* remainder is NOT
+// used — striping is over the full expansion, so workers never race on a
+// fingerprint). Each worker appends to its own file; the CLI
+// (tools/ecgrid-campaign) merges worker files back into the main results
+// file and passes every file to the resume scan.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "campaign/sweep_spec.hpp"
+#include "harness/scenario.hpp"
+
+namespace ecgrid::campaign {
+
+struct CampaignOptions {
+  /// JSONL output, appended to (created if absent). Required.
+  std::string resultsPath;
+  /// Extra JSONL files consulted (read-only) by the resume scan — the
+  /// main file of a multi-process run, or leftover worker files.
+  std::vector<std::string> resumeFrom;
+  /// In-process scenario threads per batch.
+  unsigned jobs = 1;
+  /// Stripe: this process owns expansion indices with
+  /// index % workerCount == workerIndex.
+  int workerIndex = 0;
+  int workerCount = 1;
+  /// Stop (cleanly, after flushing) once this many scenarios have been
+  /// executed in this invocation; < 0 = no cap. The campaign smoke test
+  /// uses this to simulate a mid-campaign kill.
+  long maxRuns = -1;
+  /// Optional progress sink (one human-readable line per batch).
+  std::function<void(const std::string&)> progress;
+};
+
+struct CampaignOutcome {
+  std::size_t totalRuns = 0;   ///< full expansion size
+  std::size_t stripeRuns = 0;  ///< owned by this worker stripe
+  std::size_t skipped = 0;     ///< already present in the results file(s)
+  std::size_t executed = 0;    ///< scenarios actually run this invocation
+  std::size_t failed = 0;      ///< of executed, how many threw
+};
+
+/// Fingerprints of every parseable record in `paths` (missing files are
+/// fine — a fresh campaign has no results yet). Malformed lines (e.g. a
+/// torn final line after a kill) are skipped, not fatal: the run they
+/// would have recorded simply executes again.
+[[nodiscard]] std::set<std::string> completedFingerprints(
+    const std::vector<std::string>& paths);
+
+/// One JSONL record (no trailing newline). `result` may be null for a
+/// failed run; `error` carries the exception text then.
+[[nodiscard]] std::string recordToJson(const std::string& campaignName,
+                                       const RunSpec& run,
+                                       const harness::ScenarioResult* result,
+                                       const std::string& error);
+
+/// Execute the campaign per `options`. Throws std::invalid_argument on
+/// bad options; scenario failures are recorded, never rethrown.
+CampaignOutcome runCampaign(const CampaignSpec& spec,
+                            const CampaignOptions& options);
+
+}  // namespace ecgrid::campaign

@@ -1,0 +1,86 @@
+// Declarative sweep specification for the campaign runner.
+//
+// A campaign spec is a JSON document describing a grid of scenarios the
+// way an experiment service would accept it: a `base` config, a list of
+// `axes` (each a config key and the values to sweep it over), and a list
+// of `seeds`. Expansion is the cartesian product axes × seeds — a few
+// axes with a handful of values each multiply into the thousands of runs
+// the offered-load studies need:
+//
+//   {
+//     "name": "offered-load",
+//     "base": { "duration": 200, "hostCount": 100,
+//               "workload.classes": [ { "name": "interactive" } ] },
+//     "axes": [
+//       { "key": "protocol", "values": ["GRID", "ECGRID"] },
+//       { "key": "workload.class.sessionsPerSecond",
+//         "values": [0.5, 1.0, 2.0] }
+//     ],
+//     "seeds": [1, 2, 3]
+//   }
+//
+// Config keys are the ScenarioConfig field names (see resolveConfig for
+// the accepted set); "workload.classes" takes an array of workload-class
+// objects and "workload.class.<field>" rewrites that field on every
+// class, which is how an axis sweeps a per-class knob. Unknown keys
+// throw std::invalid_argument naming the key — a spec typo must not
+// silently run the wrong experiment.
+//
+// Every expanded run carries a *fingerprint*: FNV-1a over the canonical
+// JSON dump of its merged overrides plus the seed. The fingerprint is
+// the campaign's resume key (campaign_runner.hpp) — two spec files that
+// resolve to the same merged overrides produce the same fingerprints,
+// regardless of key order or whitespace in the source files.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/scenario.hpp"
+#include "util/json.hpp"
+
+namespace ecgrid::campaign {
+
+struct SweepAxis {
+  std::string key;
+  std::vector<util::JsonValue> values;
+};
+
+struct CampaignSpec {
+  std::string name;
+  util::JsonObject base;
+  std::vector<SweepAxis> axes;
+  std::vector<std::uint64_t> seeds;
+
+  /// axes-product × seeds — the size of the expansion.
+  [[nodiscard]] std::size_t runCount() const;
+};
+
+/// Parse and structurally validate a spec document. Throws
+/// std::invalid_argument (with a line:column locus for syntax errors, or
+/// a field name for shape errors). Axis values must be non-empty; at
+/// least one seed is required; axis keys must not repeat or collide.
+[[nodiscard]] CampaignSpec parseCampaignSpec(const std::string& jsonText);
+
+/// One expanded (config, seed) pair of a campaign.
+struct RunSpec {
+  std::string fingerprint;      ///< resume key: hash(overrides, seed)
+  util::JsonObject overrides;   ///< base ∪ axis assignments (axis wins)
+  std::uint64_t seed = 0;
+};
+
+/// Deterministic expansion in odometer order (last axis fastest, then
+/// seeds). The same spec always expands to the same sequence.
+[[nodiscard]] std::vector<RunSpec> expandCampaign(const CampaignSpec& spec);
+
+/// FNV-1a-64 hex of the canonical overrides dump + the seed.
+[[nodiscard]] std::string runFingerprint(const util::JsonObject& overrides,
+                                         std::uint64_t seed);
+
+/// Apply `overrides` to a default ScenarioConfig and set the seed.
+/// Throws std::invalid_argument for unknown keys or mistyped values.
+[[nodiscard]] harness::ScenarioConfig resolveConfig(
+    const util::JsonObject& overrides, std::uint64_t seed);
+
+}  // namespace ecgrid::campaign

@@ -15,6 +15,7 @@
 #include "protocols/grid/grid_protocol.hpp"
 #include "stats/energy_recorder.hpp"
 #include "traffic/flow_manager.hpp"
+#include "traffic/workload/workload_generator.hpp"
 #include "util/error.hpp"
 
 namespace ecgrid::harness {
@@ -193,6 +194,20 @@ ScenarioResult runScenario(const ScenarioConfig& config) {
   traffic::FlowManager flows(network, plan, accounting,
                              simulator.rng().stream("flows"));
 
+  // Workload layer, armed only for a non-empty plan (same contract as the
+  // fault injector below): an empty plan draws no traffic/* stream and
+  // registers no workload.* metric, keeping the run byte-identical to a
+  // build without the layer.
+  std::optional<traffic::WorkloadGenerator> workload;
+  if (!config.workload.empty()) {
+    traffic::WorkloadPlan workloadPlan = config.workload;
+    workloadPlan.stopTime = std::min(workloadPlan.stopTime, config.duration);
+    if (workloadPlan.eligibleHosts.empty() && !endpointIds.empty()) {
+      workloadPlan.eligibleHosts = endpointIds;  // GAF Model 1
+    }
+    workload.emplace(network, workloadPlan, accounting);
+  }
+
   // Armed only for a non-empty plan: an empty plan must leave the run
   // byte-identical to a build without the fault layer at all.
   std::optional<fault::FaultInjector> injector;
@@ -257,6 +272,7 @@ ScenarioResult runScenario(const ScenarioConfig& config) {
   result.networkDown = recorder.aliveFraction().firstTimeBelow(0.0);
   result.packetsSent = accounting.packetsSent();
   result.packetsReceived = accounting.packetsReceived();
+  result.abortedFlows = accounting.abortedFlows();
   result.deliveryRate = accounting.deliveryRate();
   result.meanLatencySeconds = accounting.meanLatency();
   result.p50LatencySeconds = accounting.latencyPercentile(50.0);
@@ -312,6 +328,13 @@ ScenarioResult runScenario(const ScenarioConfig& config) {
   obs::MetricsRegistry& registry = observability.metrics();
   registry.counter("traffic.packets_sent").add(result.packetsSent);
   registry.counter("traffic.packets_received").add(result.packetsReceived);
+  if (workload) {
+    // Registered only when the workload is armed, so metric snapshots of
+    // plain CBR runs stay byte-identical to the pre-workload era.
+    registry.counter("traffic.aborted_flows").add(result.abortedFlows);
+    registry.gauge("traffic.in_flight_flows")
+        .set(static_cast<double>(accounting.inFlightFlows()));
+  }
   obs::Histogram e2e = registry.histogram(
       "e2e.latency_s", {0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2,
                         0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0});

@@ -22,6 +22,7 @@
 #include "protocols/gaf/gaf_protocol.hpp"
 #include "stats/packet_accounting.hpp"
 #include "stats/timeseries.hpp"
+#include "traffic/workload/workload_plan.hpp"
 
 namespace ecgrid::harness {
 
@@ -130,6 +131,16 @@ struct ScenarioConfig {
   /// Queue-depth sampling cadence while profiling, in executed events.
   std::uint64_t profileQueueSampleEvents = 1024;
 
+  /// Production-traffic workload (src/traffic/workload): open-loop
+  /// session arrivals with heavy-tailed sizes and request/response
+  /// exchanges, layered on top of the CBR flows. The default (empty) plan
+  /// arms nothing — no traffic/* RNG stream is touched and the run is
+  /// byte-identical to a build without the workload layer (gated in
+  /// tests/workload_test.cpp). When armed, stopTime is capped at the
+  /// scenario horizon and the "workload.*" metrics appear in `metrics`.
+  /// GAF Model 1 runs restrict clients and sinks to the endpoint hosts.
+  traffic::WorkloadPlan workload;
+
   /// Adverse conditions (src/fault): channel error model, host
   /// crash/restart schedule, GPS error, RAS paging loss. The default
   /// (empty) plan arms nothing and the run is byte-identical to a
@@ -150,6 +161,10 @@ struct ScenarioResult {
 
   std::uint64_t packetsSent = 0;
   std::uint64_t packetsReceived = 0;
+  /// Flows the workload layer gave up on (abort deadline hit); 0 when the
+  /// workload plan is empty. Distinguishable from flows merely in flight
+  /// at the horizon — see stats::PacketAccounting::FlowTimes.
+  std::uint64_t abortedFlows = 0;
   double deliveryRate = 1.0;
   double meanLatencySeconds = 0.0;
   double p50LatencySeconds = 0.0;

@@ -8,8 +8,11 @@
 namespace ecgrid::stats {
 
 void PacketAccounting::onSent(std::uint64_t flowId, std::uint64_t sequence,
-                              bool sourceAlive) {
+                              bool sourceAlive, sim::Time now) {
   (void)sequence;
+  FlowTimes& times = flowTimes_[flowId];
+  if (times.firstAttempt >= sim::kTimeNever) times.firstAttempt = now;
+  ++times.attempts;
   if (!sourceAlive) return;
   ++sent_;
   ++sentPerFlow_[flowId];
@@ -22,9 +25,34 @@ void PacketAccounting::onReceived(const net::DataTag& tag, sim::Time now) {
   }
   ++received_;
   ++receivedPerFlow_[tag.flowId];
+  FlowTimes& times = flowTimes_[tag.flowId];
+  if (times.firstDelivery >= sim::kTimeNever) times.firstDelivery = now;
+  times.lastDelivery = now;
+  ++times.delivered;
   double latency = now - tag.sentAt;
   ECGRID_CHECK(latency >= 0.0, "packet received before it was sent");
   latencies_.push_back(latency);
+  if (deliveryListener_) deliveryListener_(tag, now);
+}
+
+void PacketAccounting::onFlowAborted(std::uint64_t flowId) {
+  FlowTimes& times = flowTimes_[flowId];
+  if (times.aborted) return;
+  times.aborted = true;
+  ++abortedFlows_;
+}
+
+std::uint64_t PacketAccounting::inFlightFlows() const {
+  std::uint64_t inFlight = 0;
+  for (const auto& [flow, times] : flowTimes_) {
+    if (!times.aborted && times.attempts > times.delivered) ++inFlight;
+  }
+  return inFlight;
+}
+
+FlowTimes PacketAccounting::flowTimes(std::uint64_t flowId) const {
+  auto it = flowTimes_.find(flowId);
+  return it == flowTimes_.end() ? FlowTimes{} : it->second;
 }
 
 double PacketAccounting::deliveryRate() const {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <set>
 #include <vector>
@@ -19,19 +20,61 @@
 
 namespace ecgrid::stats {
 
+/// Per-flow lifecycle timestamps. `firstAttempt`/`firstDelivery`/
+/// `lastDelivery` are kTimeNever until the corresponding event happens,
+/// so at horizon end an *aborted* flow (explicitly given up on),
+/// an *in-flight* flow (attempts outstanding, nobody gave up), and a
+/// *fully drained* flow are three distinguishable states instead of one
+/// undifferentiated "didn't deliver everything".
+struct FlowTimes {
+  sim::Time firstAttempt = sim::kTimeNever;
+  sim::Time firstDelivery = sim::kTimeNever;
+  sim::Time lastDelivery = sim::kTimeNever;
+  std::uint64_t attempts = 0;
+  std::uint64_t delivered = 0;
+  bool aborted = false;
+};
+
 class ECGRID_DOMAIN_PER_SCENARIO PacketAccounting {
  public:
-  /// A source attempted to issue packet (flowId, sequence). Only attempts
-  /// from live sources count toward the denominator (a dead host issues
-  /// nothing — the paper measures delivery while the network lives).
-  void onSent(std::uint64_t flowId, std::uint64_t sequence, bool sourceAlive);
+  /// A source attempted to issue packet (flowId, sequence) at `now`. Only
+  /// attempts from live sources count toward the denominator (a dead host
+  /// issues nothing — the paper measures delivery while the network
+  /// lives); a dead-source attempt still stamps the flow's firstAttempt.
+  void onSent(std::uint64_t flowId, std::uint64_t sequence, bool sourceAlive,
+              sim::Time now = sim::kTimeZero);
 
   /// The addressed destination received the packet carrying `tag`.
   void onReceived(const net::DataTag& tag, sim::Time now);
 
+  /// The traffic layer gave up on `flowId` (source died, SLO deadline
+  /// blown, horizon reached with the session incomplete). Idempotent.
+  void onFlowAborted(std::uint64_t flowId);
+
+  /// Invoked once per *first* delivery of a (flow, sequence) pair, after
+  /// the accounting has been updated — duplicates never reach it. The
+  /// workload generator hangs its session bookkeeping here so the app
+  /// receive hook stays single-owner (FlowManager installs it once).
+  void setDeliveryListener(
+      std::function<void(const net::DataTag&, sim::Time)> listener) {
+    deliveryListener_ = std::move(listener);
+  }
+
   std::uint64_t packetsSent() const { return sent_; }
   std::uint64_t packetsReceived() const { return received_; }
   std::uint64_t duplicatesSuppressed() const { return duplicates_; }
+
+  /// Flows explicitly marked aborted via onFlowAborted().
+  std::uint64_t abortedFlows() const { return abortedFlows_; }
+
+  /// Flows with outstanding attempts at horizon end that nobody aborted:
+  /// attempts > delivered and not aborted. (CBR flows normally end here —
+  /// open-loop sources never "complete"; the split matters for the
+  /// workload layer's session accounting.)
+  std::uint64_t inFlightFlows() const;
+
+  /// Lifecycle timestamps for `flowId` (default FlowTimes if unknown).
+  FlowTimes flowTimes(std::uint64_t flowId) const;
 
   /// In [0, 1]; 1.0 when nothing was sent.
   double deliveryRate() const;
@@ -51,10 +94,13 @@ class ECGRID_DOMAIN_PER_SCENARIO PacketAccounting {
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
   std::uint64_t duplicates_ = 0;
+  std::uint64_t abortedFlows_ = 0;
   std::vector<double> latencies_;
   std::set<std::pair<std::uint64_t, std::uint64_t>> delivered_;
   std::map<std::uint64_t, std::uint64_t> sentPerFlow_;
   std::map<std::uint64_t, std::uint64_t> receivedPerFlow_;
+  std::map<std::uint64_t, FlowTimes> flowTimes_;
+  std::function<void(const net::DataTag&, sim::Time)> deliveryListener_;
 };
 
 }  // namespace ecgrid::stats

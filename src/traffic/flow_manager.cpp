@@ -4,10 +4,19 @@
 
 namespace ecgrid::traffic {
 
+void FlowPlan::validate() const {
+  ECGRID_REQUIRE(flowCount >= 0, "flow count cannot be negative");
+  ECGRID_REQUIRE(stopTime > startTime,
+                 "flow window is empty: stopTime must be after startTime "
+                 "(the plan would silently generate nothing)");
+  ECGRID_REQUIRE(packetsPerSecond > 0.0, "flow rate must be positive");
+  ECGRID_REQUIRE(payloadBytes > 0, "flow payload must be positive");
+}
+
 FlowManager::FlowManager(net::Network& network, const FlowPlan& plan,
                          stats::PacketAccounting& accounting,
                          sim::RngStream rng) {
-  ECGRID_REQUIRE(plan.flowCount >= 0, "flow count cannot be negative");
+  plan.validate();
 
   std::vector<net::NodeId> pool = plan.eligibleEndpoints;
   if (pool.empty()) {
@@ -52,11 +61,12 @@ FlowManager::FlowManager(net::Network& network, const FlowPlan& plan,
     net::Node* sourceNode = network.findNode(config.source);
     ECGRID_CHECK(sourceNode != nullptr, "flow source not in network");
     flowConfigs_.push_back(config);
+    sim::Simulator* sim = &network.simulator();
     sources_.push_back(std::make_unique<CbrSource>(
         network.simulator(), *sourceNode, config,
-        [&accounting](const CbrFlowConfig& flow, std::uint64_t seq,
-                      bool alive) {
-          accounting.onSent(flow.flowId, seq, alive);
+        [&accounting, sim](const CbrFlowConfig& flow, std::uint64_t seq,
+                           bool alive) {
+          accounting.onSent(flow.flowId, seq, alive, sim->now());
         }));
   }
 }

@@ -23,6 +23,12 @@ struct FlowPlan {
   /// restricts flows to the infinite-energy hosts); otherwise from every
   /// node in the network.
   std::vector<net::NodeId> eligibleEndpoints;
+
+  /// Reject silently-inert plans loudly: a negative flowCount, a window
+  /// that closes before (or the instant) it opens, a non-positive rate or
+  /// payload would all "generate nothing" without this. Throws
+  /// std::invalid_argument (util/error.hpp); FlowManager calls it first.
+  void validate() const;
 };
 
 class ECGRID_DOMAIN_PER_SCENARIO FlowManager {

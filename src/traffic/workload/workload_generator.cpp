@@ -1,0 +1,348 @@
+#include "traffic/workload/workload_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ecgrid::traffic {
+
+namespace {
+
+bool validMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void WorkloadPlan::validate() const {
+  ECGRID_REQUIRE(sinkCount >= 1, "workload needs at least one backhaul sink");
+  ECGRID_REQUIRE(clientPopulation >= 0,
+                 "client population cannot be negative");
+  ECGRID_REQUIRE(stopTime > startTime,
+                 "workload arrival window is empty: stopTime must be after "
+                 "startTime");
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    const WorkloadClass& c = classes[i];
+    ECGRID_REQUIRE(validMetricName(c.name),
+                   "workload class name must be non-empty [A-Za-z0-9_-]+ "
+                   "(it becomes a metric name component)");
+    for (std::size_t j = 0; j < i; ++j) {
+      ECGRID_REQUIRE(classes[j].name != c.name,
+                     "workload class names must be unique");
+    }
+    ECGRID_REQUIRE(c.sessionsPerSecond > 0.0,
+                   "session arrival rate must be positive");
+    ECGRID_REQUIRE(c.minFlowBytes > 0.0, "flow size scale must be positive");
+    ECGRID_REQUIRE(c.flowSizeShape > 0.0,
+                   "flow size tail index must be positive");
+    ECGRID_REQUIRE(c.maxFlowBytes >= c.minFlowBytes,
+                   "flow size cap must be >= the scale");
+    ECGRID_REQUIRE(c.packetBytes > 0, "workload packet size must be positive");
+    ECGRID_REQUIRE(c.packetsPerSecond > 0.0,
+                   "in-session pacing rate must be positive");
+    ECGRID_REQUIRE(c.sloSeconds > 0.0, "SLO must be positive");
+    ECGRID_REQUIRE(c.abortAfterSeconds > 0.0, "abort deadline must be positive");
+    if (c.arrivals == ArrivalKind::kParetoOnOff) {
+      ECGRID_REQUIRE(c.onMeanSeconds > 0.0 && c.offMeanSeconds > 0.0,
+                     "ON/OFF sojourn means must be positive");
+      ECGRID_REQUIRE(c.onOffShape > 1.0,
+                     "ON/OFF Pareto shape must exceed 1 (finite mean)");
+    }
+    if (c.requestResponse) {
+      ECGRID_REQUIRE(c.responseBytes > 0.0,
+                     "response size must be positive when requestResponse");
+    }
+  }
+}
+
+double WorkloadGenerator::drawInterArrival(sim::RngStream& rng, double rate) {
+  return rng.exponential(1.0 / rate);
+}
+
+double WorkloadGenerator::drawPareto(sim::RngStream& rng, double xm,
+                                     double shape) {
+  const double u = rng.uniform(0.0, 1.0);  // in [0, 1): 1-u never hits 0
+  return xm * std::pow(1.0 - u, -1.0 / shape);
+}
+
+double WorkloadGenerator::drawBoundedPareto(sim::RngStream& rng, double xm,
+                                            double shape, double cap) {
+  if (cap <= xm) return xm;
+  // Inverse CDF of the truncated Pareto: exact in one draw.
+  const double u = rng.uniform(0.0, 1.0);
+  const double tail = 1.0 - std::pow(xm / cap, shape);
+  return xm / std::pow(1.0 - u * tail, 1.0 / shape);
+}
+
+double WorkloadGenerator::drawParetoSojourn(sim::RngStream& rng,
+                                            double meanSeconds, double shape) {
+  const double xm = meanSeconds * (shape - 1.0) / shape;
+  return drawPareto(rng, xm, shape);
+}
+
+WorkloadGenerator::WorkloadGenerator(net::Network& network,
+                                     const WorkloadPlan& plan,
+                                     stats::PacketAccounting& accounting)
+    : network_(network),
+      sim_(network.simulator()),
+      plan_(plan),
+      accounting_(accounting),
+      arrivalRng_(sim_.rng().stream("traffic/arrivals")),
+      clientRng_(sim_.rng().stream("traffic/clients")),
+      sizeRng_(sim_.rng().stream("traffic/sizes")) {
+  plan_.validate();
+  ECGRID_REQUIRE(!plan_.empty(), "workload plan has no classes");
+
+  std::vector<net::NodeId> pool = plan_.eligibleHosts;
+  if (pool.empty()) {
+    pool.reserve(network.nodeCount());
+    for (std::size_t i = 0; i < network.nodeCount(); ++i) {
+      pool.push_back(network.node(i).id());
+    }
+  }
+  const std::size_t sinkCount = static_cast<std::size_t>(plan_.sinkCount);
+  ECGRID_REQUIRE(pool.size() > sinkCount,
+                 "need more hosts than backhaul sinks");
+
+  // Sinks first, then clients, both by deterministic partial
+  // Fisher–Yates on the "traffic/clients" stream.
+  auto drawDistinct = [this, &pool](std::size_t count) {
+    std::vector<net::NodeId> out;
+    for (std::size_t i = 0; i < count && !pool.empty(); ++i) {
+      const std::size_t pick = static_cast<std::size_t>(clientRng_.uniformInt(
+          0, static_cast<std::int64_t>(pool.size()) - 1));
+      out.push_back(pool[pick]);
+      pool[pick] = pool.back();
+      pool.pop_back();
+    }
+    return out;
+  };
+  sinks_ = drawDistinct(sinkCount);
+  const std::size_t clientCount =
+      plan_.clientPopulation > 0
+          ? std::min(pool.size(),
+                     static_cast<std::size_t>(plan_.clientPopulation))
+          : pool.size();
+  clients_ = drawDistinct(clientCount);
+  ECGRID_CHECK(!clients_.empty(), "no client hosts left for the workload");
+
+  requestPacketsMetric_ = obs::counter(sim_, "workload.request_packets_sent");
+  responsePacketsMetric_ =
+      obs::counter(sim_, "workload.response_packets_sent");
+
+  classes_.reserve(plan_.classes.size());
+  for (const WorkloadClass& cls : plan_.classes) {
+    ClassState state;
+    state.config = cls;
+    state.cursor = plan_.startTime;
+    state.onUntil = plan_.startTime;  // kParetoOnOff opens its first burst
+    const std::string prefix = "workload." + cls.name + ".";
+    state.attemptedMetric =
+        obs::counter(sim_, prefix + "sessions_attempted");
+    state.completedMetric = obs::counter(sim_, prefix + "flows_completed");
+    state.abortedMetric = obs::counter(sim_, prefix + "flows_aborted");
+    state.sloMetMetric = obs::counter(sim_, prefix + "slo_met");
+    state.latencyMetric = obs::histogram(
+        sim_, prefix + "latency_s",
+        obs::Histogram::exponentialEdges(0.01, 2.0, 16));
+    classes_.push_back(std::move(state));
+  }
+
+  accounting_.setDeliveryListener(
+      [this](const net::DataTag& tag, sim::Time now) {
+        onDelivered(tag, now);
+      });
+
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    if (classes_[i].config.arrivals == ArrivalKind::kParetoOnOff) {
+      classes_[i].onUntil =
+          plan_.startTime + drawParetoSojourn(arrivalRng_,
+                                              classes_[i].config.onMeanSeconds,
+                                              classes_[i].config.onOffShape);
+    }
+    scheduleNextArrival(i);
+  }
+}
+
+WorkloadGenerator::~WorkloadGenerator() { stopAll(); }
+
+void WorkloadGenerator::stopAll() {
+  for (ClassState& cls : classes_) cls.arrivalTimer.cancel();
+  for (auto& [id, flow] : flows_) {
+    flow.paceTimer.cancel();
+    flow.abortTimer.cancel();
+  }
+  accounting_.setDeliveryListener(nullptr);
+}
+
+void WorkloadGenerator::scheduleNextArrival(std::size_t classIndex) {
+  ClassState& cls = classes_[classIndex];
+  const WorkloadClass& config = cls.config;
+  cls.cursor += drawInterArrival(arrivalRng_, config.sessionsPerSecond);
+  if (config.arrivals == ArrivalKind::kParetoOnOff) {
+    // An arrival drawn past the burst's end belongs to a later burst:
+    // jump the cursor over the OFF sojourn and redraw from the next ON
+    // start (exact for Poisson-in-burst by memorylessness).
+    while (cls.cursor > cls.onUntil) {
+      const sim::Time onStart =
+          cls.onUntil + drawParetoSojourn(arrivalRng_, config.offMeanSeconds,
+                                          config.onOffShape);
+      cls.onUntil = onStart + drawParetoSojourn(
+                                  arrivalRng_, config.onMeanSeconds,
+                                  config.onOffShape);
+      cls.cursor =
+          onStart + drawInterArrival(arrivalRng_, config.sessionsPerSecond);
+    }
+  }
+  if (cls.cursor >= plan_.stopTime) return;  // window closed: no re-arm
+  cls.arrivalTimer = sim_.scheduleAt(
+      cls.cursor, [this, classIndex] { onArrival(classIndex); },
+      "traffic/workload/arrival");
+}
+
+void WorkloadGenerator::onArrival(std::size_t classIndex) {
+  ClassState& cls = classes_[classIndex];
+  ++cls.stats.sessionsAttempted;
+  cls.attemptedMetric.add();
+
+  FlowState flow;
+  flow.id = nextFlowId_++;
+  flow.classIndex = classIndex;
+  flow.client = clients_[static_cast<std::size_t>(clientRng_.uniformInt(
+      0, static_cast<std::int64_t>(clients_.size()) - 1))];
+  flow.sink = sinks_[static_cast<std::size_t>(clientRng_.uniformInt(
+      0, static_cast<std::int64_t>(sinks_.size()) - 1))];
+  flow.startedAt = sim_.now();
+
+  const WorkloadClass& config = cls.config;
+  const double sizeBytes =
+      drawBoundedPareto(sizeRng_, config.minFlowBytes, config.flowSizeShape,
+                        config.maxFlowBytes);
+  flow.requestPackets = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(sizeBytes / config.packetBytes)));
+  flow.responsePackets =
+      config.requestResponse
+          ? std::max<std::uint64_t>(
+                1, static_cast<std::uint64_t>(
+                       std::ceil(config.responseBytes / config.packetBytes)))
+          : 0;
+
+  const std::uint64_t id = flow.id;
+  flow.abortTimer = sim_.schedule(
+      config.abortAfterSeconds,
+      [this, id] {
+        auto it = flows_.find(id);
+        if (it != flows_.end()) abortFlow(it->second);
+      },
+      "traffic/workload/abort");
+  flows_.emplace(id, std::move(flow));
+
+  sendNextPacket(id);
+  scheduleNextArrival(classIndex);
+}
+
+void WorkloadGenerator::sendNextPacket(std::uint64_t flowId) {
+  auto it = flows_.find(flowId);
+  if (it == flows_.end()) return;  // completed or aborted meanwhile
+  FlowState& flow = it->second;
+  const WorkloadClass& config = classes_[flow.classIndex].config;
+
+  const net::NodeId senderId = flow.responsePhase ? flow.sink : flow.client;
+  const net::NodeId destination = flow.responsePhase ? flow.client : flow.sink;
+  net::Node* sender = network_.findNode(senderId);
+  const bool alive = sender != nullptr && sender->alive();
+  if (!alive) {
+    // The sending end is dead or crashed: the user (or backhaul) is gone,
+    // so the session is abandoned, not retried forever.
+    abortFlow(flow);
+    return;
+  }
+
+  const std::uint64_t seq = flow.nextSeq++;
+  accounting_.onSent(flow.id, seq, alive, sim_.now());
+  net::DataTag tag;
+  tag.flowId = flow.id;
+  tag.sequence = seq;
+  tag.sentAt = sim_.now();
+  sender->sendFromApp(destination, config.packetBytes, tag);
+  if (flow.responsePhase) {
+    responsePacketsMetric_.add();
+  } else {
+    requestPacketsMetric_.add();
+  }
+
+  const std::uint64_t phaseEnd =
+      flow.responsePhase ? flow.requestPackets + flow.responsePackets
+                         : flow.requestPackets;
+  if (flow.nextSeq < phaseEnd) {
+    const std::uint64_t id = flow.id;
+    flow.paceTimer = sim_.schedule(
+        1.0 / config.packetsPerSecond, [this, id] { sendNextPacket(id); },
+        "traffic/workload/pace");
+  }
+}
+
+void WorkloadGenerator::onDelivered(const net::DataTag& tag, sim::Time now) {
+  if (tag.flowId < kWorkloadFlowBase) return;  // CBR flow, not ours
+  auto it = flows_.find(tag.flowId);
+  if (it == flows_.end()) return;  // delivery after abort: stale packet
+  FlowState& flow = it->second;
+
+  if (tag.sequence < flow.requestPackets) {
+    ++flow.requestDelivered;
+    if (flow.requestDelivered == flow.requestPackets && !flow.responsePhase) {
+      if (flow.responsePackets > 0) {
+        // The sink answers: same flow id, sequences above the request
+        // range, paced from the sink's side.
+        flow.responsePhase = true;
+        flow.nextSeq = flow.requestPackets;
+        const std::uint64_t id = flow.id;
+        flow.paceTimer = sim_.schedule(
+            0.0, [this, id] { sendNextPacket(id); },
+            "traffic/workload/pace");
+      } else {
+        completeFlow(flow, now);
+      }
+    }
+  } else {
+    ++flow.responseDelivered;
+    if (flow.responseDelivered == flow.responsePackets) {
+      completeFlow(flow, now);
+    }
+  }
+}
+
+void WorkloadGenerator::completeFlow(FlowState& flow, sim::Time now) {
+  ClassState& cls = classes_[flow.classIndex];
+  ++cls.stats.flowsCompleted;
+  cls.completedMetric.add();
+  const double latency = now - flow.startedAt;
+  cls.latencyMetric.observe(latency);
+  if (latency <= cls.config.sloSeconds) {
+    ++cls.stats.sloMet;
+    cls.sloMetMetric.add();
+  }
+  flow.paceTimer.cancel();
+  flow.abortTimer.cancel();
+  flows_.erase(flow.id);
+}
+
+void WorkloadGenerator::abortFlow(FlowState& flow) {
+  ClassState& cls = classes_[flow.classIndex];
+  ++cls.stats.flowsAborted;
+  cls.abortedMetric.add();
+  accounting_.onFlowAborted(flow.id);
+  flow.paceTimer.cancel();
+  flow.abortTimer.cancel();
+  flows_.erase(flow.id);
+}
+
+}  // namespace ecgrid::traffic

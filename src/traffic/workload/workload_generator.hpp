@@ -1,0 +1,153 @@
+// Open-loop production-traffic generator (see workload_plan.hpp).
+//
+// One WorkloadGenerator drives every class of a WorkloadPlan against a
+// built Network: it draws session arrivals on the dedicated
+// "traffic/arrivals" stream, picks the client and sink for each session
+// from "traffic/clients", sizes the request from "traffic/sizes", then
+// paces request packets through Node::sendFromApp exactly like the CBR
+// sources do — same PacketAccounting, same MAC/routing path, same
+// delivery-rate denominator. Delivery observation rides the accounting's
+// delivery listener (PacketAccounting::setDeliveryListener), so the
+// single app-receive hook FlowManager installs stays untouched.
+//
+// Open-loop means arrivals never wait for completions: a saturated
+// network keeps receiving sessions at the configured rate, queues grow,
+// SLOs blow, and the abort timer records the carnage — which is exactly
+// the signal an offered-load sweep is after.
+//
+// Determinism: all randomness flows through the three traffic/* streams
+// above; constructing the generator draws nothing from any pre-existing
+// stream, so a scenario with an empty plan is byte-identical to one
+// without the workload layer at all, and a run with the same (plan,
+// seed) replays byte-identically (tests/workload_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/network.hpp"
+#include "obs/observability.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "stats/packet_accounting.hpp"
+#include "traffic/workload/workload_plan.hpp"
+#include "util/ownership.hpp"
+
+namespace ecgrid::traffic {
+
+/// Workload flow ids live above every CBR flow id so the two populations
+/// cannot collide in the shared PacketAccounting.
+inline constexpr std::uint64_t kWorkloadFlowBase = std::uint64_t{1} << 32;
+
+/// Per-class outcome counters (mirrored into "workload.<class>.*"
+/// metrics; exposed directly for tests and the campaign runner).
+struct WorkloadClassStats {
+  std::uint64_t sessionsAttempted = 0;
+  std::uint64_t flowsCompleted = 0;
+  std::uint64_t flowsAborted = 0;
+  std::uint64_t sloMet = 0;  ///< completions within the class SLO
+};
+
+class ECGRID_DOMAIN_PER_SCENARIO WorkloadGenerator {
+ public:
+  /// Draws sinks then clients, registers the per-class metrics, installs
+  /// the delivery listener, and schedules each class's first arrival.
+  /// `accounting` and `network` must outlive the generator.
+  WorkloadGenerator(net::Network& network, const WorkloadPlan& plan,
+                    stats::PacketAccounting& accounting);
+  ~WorkloadGenerator();
+  WorkloadGenerator(const WorkloadGenerator&) = delete;
+  WorkloadGenerator& operator=(const WorkloadGenerator&) = delete;
+
+  [[nodiscard]] const std::vector<net::NodeId>& clients() const {
+    return clients_;
+  }
+  [[nodiscard]] const std::vector<net::NodeId>& sinks() const {
+    return sinks_;
+  }
+  [[nodiscard]] const WorkloadClassStats& classStats(std::size_t i) const {
+    return classes_[i].stats;
+  }
+  [[nodiscard]] std::size_t activeFlows() const { return flows_.size(); }
+
+  /// Cancel every pending arrival, pacing, and abort timer. Active
+  /// sessions stay in the accounting as in-flight (not aborted).
+  void stopAll();
+
+  // --- distribution primitives (exposed for the statistical tests) -------
+  /// Exponential inter-arrival gap for a Poisson process of `rate` (1/s).
+  [[nodiscard]] static double drawInterArrival(sim::RngStream& rng,
+                                               double rate);
+  /// Unbounded Pareto(scale xm, tail index shape) via inverse CDF.
+  [[nodiscard]] static double drawPareto(sim::RngStream& rng, double xm,
+                                         double shape);
+  /// Pareto truncated at `cap` (inverse CDF of the truncated law, not
+  /// rejection — one draw, exact distribution).
+  [[nodiscard]] static double drawBoundedPareto(sim::RngStream& rng,
+                                                double xm, double shape,
+                                                double cap);
+  /// Pareto sojourn with the given *mean* and tail index (> 1).
+  [[nodiscard]] static double drawParetoSojourn(sim::RngStream& rng,
+                                                double meanSeconds,
+                                                double shape);
+
+ private:
+  struct ClassState {
+    WorkloadClass config;
+    WorkloadClassStats stats;
+    /// Virtual cursor of the arrival process (>= now; ON/OFF bursts can
+    /// push it ahead of the clock before the next arrival is drawn).
+    sim::Time cursor = 0.0;
+    sim::Time onUntil = 0.0;  ///< current ON period end (kParetoOnOff)
+    sim::EventHandle arrivalTimer;
+    obs::Counter attemptedMetric;
+    obs::Counter completedMetric;
+    obs::Counter abortedMetric;
+    obs::Counter sloMetMetric;
+    obs::Histogram latencyMetric;
+  };
+
+  struct FlowState {
+    std::uint64_t id = 0;
+    std::size_t classIndex = 0;
+    net::NodeId client = 0;
+    net::NodeId sink = 0;
+    sim::Time startedAt = 0.0;
+    std::uint64_t requestPackets = 0;
+    std::uint64_t responsePackets = 0;
+    std::uint64_t requestDelivered = 0;
+    std::uint64_t responseDelivered = 0;
+    std::uint64_t nextSeq = 0;
+    bool responsePhase = false;
+    sim::EventHandle paceTimer;
+    sim::EventHandle abortTimer;
+  };
+
+  void scheduleNextArrival(std::size_t classIndex);
+  void onArrival(std::size_t classIndex);
+  void sendNextPacket(std::uint64_t flowId);
+  void onDelivered(const net::DataTag& tag, sim::Time now);
+  void completeFlow(FlowState& flow, sim::Time now);
+  void abortFlow(FlowState& flow);
+
+  net::Network& network_;
+  sim::Simulator& sim_;
+  WorkloadPlan plan_;
+  stats::PacketAccounting& accounting_;
+
+  sim::RngStream arrivalRng_;
+  sim::RngStream clientRng_;
+  sim::RngStream sizeRng_;
+
+  std::vector<net::NodeId> clients_;
+  std::vector<net::NodeId> sinks_;
+  std::vector<ClassState> classes_;
+  std::map<std::uint64_t, FlowState> flows_;
+  std::uint64_t nextFlowId_ = kWorkloadFlowBase;
+
+  obs::Counter requestPacketsMetric_;
+  obs::Counter responsePacketsMetric_;
+};
+
+}  // namespace ecgrid::traffic

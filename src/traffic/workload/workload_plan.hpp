@@ -1,0 +1,106 @@
+// Production-traffic workload description (pure value, no behaviour).
+//
+// The paper's evaluation drives the grid protocols with a handful of
+// fixed-rate CBR pairs; a WorkloadPlan instead describes the *offered
+// load* of a large client population the way a production experiment
+// would: open-loop session arrivals (Poisson, or bursty Pareto on–off),
+// heavy-tailed flow sizes, and request/response exchanges that cross the
+// field from a client host to a backhaul sink and back — funnelling
+// through whatever grid gateways the routing protocol has elected along
+// the way. Each workload class carries its own latency SLO so attainment
+// can be reported per class (interactive vs bulk), through the
+// MetricsRegistry ("workload.<class>.*").
+//
+// An empty plan (`classes` empty) is completely inert: the harness never
+// constructs a WorkloadGenerator for it, no traffic/* stream is drawn,
+// and the run is byte-identical to one predating this layer
+// (tests/workload_test.cpp gates that).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace ecgrid::traffic {
+
+enum class ArrivalKind {
+  kPoisson,     ///< memoryless open-loop arrivals at sessionsPerSecond
+  kParetoOnOff  ///< Pareto-sojourn ON/OFF bursts; Poisson arrivals at
+                ///< sessionsPerSecond *within* ON periods only
+};
+
+struct WorkloadClass {
+  /// Metric-name component ("workload.<name>.flows_completed", ...);
+  /// restricted to [A-Za-z0-9_-]+ and unique within the plan.
+  std::string name = "interactive";
+
+  ArrivalKind arrivals = ArrivalKind::kPoisson;
+  /// Session arrival rate (1/s). For kParetoOnOff this is the in-burst
+  /// rate; the long-run offered rate is scaled by the ON duty cycle
+  /// onMeanSeconds / (onMeanSeconds + offMeanSeconds).
+  double sessionsPerSecond = 1.0;
+
+  // --- kParetoOnOff burst structure (ignored for kPoisson) ---------------
+  double onMeanSeconds = 2.0;   ///< mean ON sojourn
+  double offMeanSeconds = 8.0;  ///< mean OFF sojourn
+  /// Pareto tail index of both sojourn distributions; must exceed 1 so
+  /// the configured means exist. 1 < shape <= 2 gives the classic
+  /// long-range-dependent aggregate.
+  double onOffShape = 1.5;
+
+  // --- request flow ------------------------------------------------------
+  /// Request size drawn from a bounded Pareto: scale minFlowBytes, tail
+  /// index flowSizeShape, truncated at maxFlowBytes (elephants exist but
+  /// stay finite).
+  double minFlowBytes = 1024.0;
+  double flowSizeShape = 1.3;
+  double maxFlowBytes = 262144.0;
+  int packetBytes = 512;           ///< request/response packetisation
+  double packetsPerSecond = 20.0;  ///< in-session pacing rate
+
+  // --- response ----------------------------------------------------------
+  /// When true the sink answers the fully-delivered request with a
+  /// responseBytes flow back to the client; the session completes when
+  /// the *response* has fully arrived (else when the request has).
+  bool requestResponse = true;
+  double responseBytes = 512.0;
+
+  // --- service objectives ------------------------------------------------
+  /// Completion-latency SLO (s), measured arrival → session complete.
+  double sloSeconds = 2.0;
+  /// Give up on a session this long after arrival: pacing stops and the
+  /// flow is marked aborted in the PacketAccounting (distinguishable from
+  /// merely in-flight at horizon end).
+  double abortAfterSeconds = 60.0;
+};
+
+struct WorkloadPlan {
+  std::vector<WorkloadClass> classes;
+
+  /// Client hosts generating sessions. 0 = every network host is a
+  /// client; otherwise that many distinct hosts are drawn from the
+  /// population (the "traffic/clients" stream) — the knob that separates
+  /// "everyone chats" from "a few hot cells funnel everything".
+  int clientPopulation = 0;
+  /// Backhaul sinks (request destinations / response sources), drawn
+  /// disjoint from the clients.
+  int sinkCount = 1;
+  /// If non-empty, clients and sinks are drawn from this id set instead
+  /// of every node (GAF Model 1 runs restrict to the endpoint hosts).
+  std::vector<net::NodeId> eligibleHosts;
+
+  /// Arrival window. The harness caps stopTime at the scenario horizon.
+  sim::Time startTime = 1.0;
+  sim::Time stopTime = sim::kTimeNever;
+
+  [[nodiscard]] bool empty() const { return classes.empty(); }
+
+  /// Throws std::invalid_argument (util/error.hpp) on non-positive rates
+  /// or sizes, sojourn shapes <= 1, duplicate or malformed class names,
+  /// an empty arrival window, or a non-positive sink count.
+  void validate() const;
+};
+
+}  // namespace ecgrid::traffic

@@ -1,0 +1,14 @@
+// ecgrid-lint-fixture-path: src/traffic/workload/typo_generator.cpp
+// ecgrid-lint-fixture: expect-violation(rng-stream-literal)
+// A literal stream name under src/ that is missing from the census
+// table: a typo ("trafic", "traffic/arivals") would silently fork a
+// fresh stream and decouple the run from every committed digest, so the
+// sweep fails until STREAM_NAME_CENSUS and the code agree.
+
+struct RngFactory {
+  int stream(const char* name, int salt = 0);
+};
+
+int typoedWorkloadStream(RngFactory& factory) {
+  return factory.stream("trafic/arrivals");
+}

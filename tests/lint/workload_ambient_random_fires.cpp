@@ -1,0 +1,16 @@
+// ecgrid-lint-fixture-path: src/traffic/workload/ambient_generator.cpp
+// ecgrid-lint-fixture: expect-violation(banned-random)
+// An "ambient random" workload generator — rolling its own mt19937
+// instead of drawing from the named traffic/* streams — would make
+// session arrivals unreproducible and break the byte-identical-replay
+// gate, so the sweep rejects it.
+#include <random>
+
+struct AmbientWorkloadGenerator {
+  std::mt19937 engine{12345};
+
+  double nextInterArrival(double rate) {
+    std::exponential_distribution<double> gap(rate);
+    return gap(engine);
+  }
+};

@@ -1,0 +1,345 @@
+// Workload-layer tests: plan validation (FlowPlan and WorkloadPlan),
+// per-flow lifecycle accounting (aborted vs in-flight vs drained),
+// distribution primitives against closed-form moments (mirroring the
+// Gilbert–Elliott gates in fault_test.cpp), scenario integration, and
+// the determinism gates for the new traffic/* streams: byte-identical
+// replay of an armed workload, and the empty-plan inert surface.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "harness/scenario.hpp"
+#include "sim/rng.hpp"
+#include "stats/packet_accounting.hpp"
+#include "traffic/flow_manager.hpp"
+#include "test_net.hpp"
+#include "traffic/workload/workload_generator.hpp"
+#include "traffic/workload/workload_plan.hpp"
+
+namespace ecgrid {
+namespace {
+
+// --------------------------------------------------------------------------
+// FlowPlan validity (stopTime-aware)
+
+TEST(FlowPlanValidate, AcceptsTheDefaultPlan) {
+  traffic::FlowPlan plan;
+  EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(FlowPlanValidate, RejectsNegativeFlowCount) {
+  traffic::FlowPlan plan;
+  plan.flowCount = -1;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(FlowPlanValidate, RejectsEmptyWindow) {
+  traffic::FlowPlan plan;
+  plan.startTime = 10.0;
+  plan.stopTime = 10.0;  // closes the instant it opens
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.stopTime = 5.0;  // closes before it opens
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(FlowPlanValidate, RejectsNonPositiveRateAndPayload) {
+  traffic::FlowPlan plan;
+  plan.packetsPerSecond = 0.0;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.packetsPerSecond = 1.0;
+  plan.payloadBytes = 0;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------------
+// WorkloadPlan validity
+
+traffic::WorkloadPlan onePlanClass() {
+  traffic::WorkloadPlan plan;
+  plan.classes.emplace_back();
+  plan.stopTime = 100.0;
+  return plan;
+}
+
+TEST(WorkloadPlanValidate, AcceptsTheDefaultClass) {
+  EXPECT_NO_THROW(onePlanClass().validate());
+}
+
+TEST(WorkloadPlanValidate, RejectsDuplicateClassNames) {
+  traffic::WorkloadPlan plan = onePlanClass();
+  plan.classes.push_back(plan.classes.front());
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(WorkloadPlanValidate, RejectsMalformedClassName) {
+  traffic::WorkloadPlan plan = onePlanClass();
+  plan.classes.front().name = "bad name!";  // metric names cannot hold these
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.classes.front().name = "";
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(WorkloadPlanValidate, RejectsHeavyTailWithoutMean) {
+  traffic::WorkloadPlan plan = onePlanClass();
+  plan.classes.front().arrivals = traffic::ArrivalKind::kParetoOnOff;
+  plan.classes.front().onOffShape = 1.0;  // infinite-mean sojourns
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(WorkloadPlanValidate, RejectsInvertedFlowSizeBounds) {
+  traffic::WorkloadPlan plan = onePlanClass();
+  plan.classes.front().minFlowBytes = 8192.0;
+  plan.classes.front().maxFlowBytes = 1024.0;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(WorkloadPlanValidate, RejectsEmptyWindowAndZeroSinks) {
+  traffic::WorkloadPlan plan = onePlanClass();
+  plan.startTime = plan.stopTime;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan = onePlanClass();
+  plan.sinkCount = 0;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------------
+// PacketAccounting per-flow lifecycle
+
+TEST(FlowLifecycle, StampsFirstAttemptEvenForDeadSources) {
+  stats::PacketAccounting accounting;
+  accounting.onSent(5, 0, /*sourceAlive=*/false, 3.0);
+  EXPECT_EQ(accounting.packetsSent(), 0u);  // dead sources issue nothing
+  const stats::FlowTimes times = accounting.flowTimes(5);
+  EXPECT_DOUBLE_EQ(times.firstAttempt, 3.0);
+  EXPECT_EQ(times.attempts, 1u);
+}
+
+TEST(FlowLifecycle, DistinguishesAbortedFromInFlightFromDrained) {
+  stats::PacketAccounting accounting;
+  // Flow 1: fully drained.
+  accounting.onSent(1, 0, true, 1.0);
+  accounting.onReceived({1, 0, 1.0}, 1.5);
+  // Flow 2: in flight — attempted, never delivered, nobody gave up.
+  accounting.onSent(2, 0, true, 2.0);
+  // Flow 3: aborted.
+  accounting.onSent(3, 0, true, 3.0);
+  accounting.onFlowAborted(3);
+  accounting.onFlowAborted(3);  // idempotent
+
+  EXPECT_EQ(accounting.abortedFlows(), 1u);
+  EXPECT_EQ(accounting.inFlightFlows(), 1u);
+  EXPECT_TRUE(accounting.flowTimes(3).aborted);
+  EXPECT_FALSE(accounting.flowTimes(2).aborted);
+  EXPECT_EQ(accounting.flowTimes(1).delivered, 1u);
+}
+
+TEST(FlowLifecycle, DeliveryListenerFiresOncePerUniqueDelivery) {
+  stats::PacketAccounting accounting;
+  int fired = 0;
+  accounting.setDeliveryListener(
+      [&fired](const net::DataTag&, sim::Time) { ++fired; });
+  accounting.onSent(7, 0, true, 1.0);
+  accounting.onReceived({7, 0, 1.0}, 1.2);
+  accounting.onReceived({7, 0, 1.0}, 1.3);  // duplicate: suppressed
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(accounting.duplicatesSuppressed(), 1u);
+}
+
+// --------------------------------------------------------------------------
+// Distribution primitives vs closed form
+
+constexpr int kDraws = 200000;
+
+TEST(WorkloadDistributions, PoissonInterArrivalMeanMatchesRate) {
+  sim::RngStream rng(42);
+  const double rate = 4.0;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += traffic::WorkloadGenerator::drawInterArrival(rng, rate);
+  }
+  const double mean = sum / kDraws;
+  EXPECT_NEAR(mean, 1.0 / rate, 0.02 / rate);  // within 2% of 1/λ
+}
+
+TEST(WorkloadDistributions, ParetoTailIndexMatchesMle) {
+  // The Hill/MLE estimator for a Pareto(xm, α) sample is
+  //   α̂ = n / Σ ln(xᵢ/xm),
+  // consistent with variance α²/n — at n = 2·10⁵ the estimate sits
+  // within a fraction of a percent of the true index.
+  sim::RngStream rng(7);
+  const double xm = 2.0;
+  const double shape = 1.5;
+  double logSum = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = traffic::WorkloadGenerator::drawPareto(rng, xm, shape);
+    ASSERT_GE(x, xm);
+    logSum += std::log(x / xm);
+  }
+  const double estimated = kDraws / logSum;
+  EXPECT_NEAR(estimated, shape, 0.02 * shape);
+}
+
+TEST(WorkloadDistributions, BoundedParetoStaysBoundedWithAnalyticMean) {
+  sim::RngStream rng(11);
+  const double xm = 1024.0;
+  const double shape = 1.3;
+  const double cap = 262144.0;
+  // Truncated-Pareto mean, α ≠ 1:
+  //   E[X] = α/(α−1) · xm^α (xm^{1−α} − cap^{1−α}) / (1 − (xm/cap)^α)
+  const double analyticMean = shape / (shape - 1.0) * std::pow(xm, shape) *
+                              (std::pow(xm, 1.0 - shape) -
+                               std::pow(cap, 1.0 - shape)) /
+                              (1.0 - std::pow(xm / cap, shape));
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x =
+        traffic::WorkloadGenerator::drawBoundedPareto(rng, xm, shape, cap);
+    ASSERT_GE(x, xm);
+    ASSERT_LE(x, cap);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kDraws, analyticMean, 0.02 * analyticMean);
+}
+
+TEST(WorkloadDistributions, ParetoSojournHitsConfiguredMean) {
+  sim::RngStream rng(13);
+  const double mean = 5.0;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += traffic::WorkloadGenerator::drawParetoSojourn(rng, mean, 2.5);
+  }
+  EXPECT_NEAR(sum / kDraws, mean, 0.03 * mean);
+}
+
+TEST(WorkloadDistributions, DegenerateBoundReturnsTheScale) {
+  sim::RngStream rng(3);
+  EXPECT_DOUBLE_EQ(
+      traffic::WorkloadGenerator::drawBoundedPareto(rng, 100.0, 1.5, 100.0),
+      100.0);
+}
+
+// --------------------------------------------------------------------------
+// Scenario integration + determinism gates
+
+harness::ScenarioConfig workloadBase() {
+  harness::ScenarioConfig config;
+  config.hostCount = 20;
+  config.flowCount = 2;
+  config.duration = 40.0;
+  config.seed = 5;
+  config.auditInvariants = true;
+  return config;
+}
+
+traffic::WorkloadPlan activePlan() {
+  traffic::WorkloadPlan plan;
+  traffic::WorkloadClass cls;
+  cls.name = "interactive";
+  cls.sessionsPerSecond = 1.0;
+  cls.maxFlowBytes = 8192.0;
+  cls.abortAfterSeconds = 10.0;
+  plan.classes.push_back(cls);
+  traffic::WorkloadClass bulk;
+  bulk.name = "bulk";
+  bulk.arrivals = traffic::ArrivalKind::kParetoOnOff;
+  bulk.sessionsPerSecond = 2.0;
+  bulk.minFlowBytes = 4096.0;
+  bulk.maxFlowBytes = 65536.0;
+  bulk.requestResponse = false;
+  bulk.sloSeconds = 10.0;
+  bulk.abortAfterSeconds = 15.0;
+  plan.classes.push_back(bulk);
+  return plan;
+}
+
+TEST(WorkloadScenario, ArmedWorkloadGeneratesAndAccountsSessions) {
+  harness::ScenarioConfig config = workloadBase();
+  config.workload = activePlan();
+  const harness::ScenarioResult result = harness::runScenario(config);
+
+  // Sessions must have been attempted and reflected in the metrics.
+  const auto attempted =
+      result.metrics.find("workload.interactive.sessions_attempted");
+  ASSERT_NE(attempted, result.metrics.end());
+  EXPECT_GT(attempted->second, 0.0);
+  ASSERT_NE(result.metrics.find("workload.bulk.sessions_attempted"),
+            result.metrics.end());
+  ASSERT_NE(result.metrics.find("workload.interactive.latency_s.count"),
+            result.metrics.end());
+  ASSERT_NE(result.metrics.find("workload.request_packets_sent"),
+            result.metrics.end());
+
+  // ScenarioResult::abortedFlows mirrors the accounting and the snapshot.
+  const auto aborted = result.metrics.find("traffic.aborted_flows");
+  ASSERT_NE(aborted, result.metrics.end());
+  EXPECT_DOUBLE_EQ(aborted->second,
+                   static_cast<double>(result.abortedFlows));
+
+  // Completions within SLO can never exceed completions.
+  const auto completed =
+      result.metrics.find("workload.interactive.flows_completed");
+  const auto sloMet = result.metrics.find("workload.interactive.slo_met");
+  ASSERT_NE(completed, result.metrics.end());
+  ASSERT_NE(sloMet, result.metrics.end());
+  EXPECT_LE(sloMet->second, completed->second);
+}
+
+TEST(WorkloadScenario, ReplayIsByteIdentical) {
+  harness::ScenarioConfig config = workloadBase();
+  config.workload = activePlan();
+  config.digestEveryEvents = 5000;
+  const harness::ScenarioResult a = harness::runScenario(config);
+  const harness::ScenarioResult b = harness::runScenario(config);
+
+  ASSERT_EQ(a.digestTrace.size(), b.digestTrace.size());
+  for (std::size_t i = 0; i < a.digestTrace.size(); ++i) {
+    EXPECT_EQ(a.digestTrace[i].digest, b.digestTrace[i].digest);
+  }
+  EXPECT_EQ(a.packetsSent, b.packetsSent);
+  EXPECT_EQ(a.abortedFlows, b.abortedFlows);
+  EXPECT_EQ(a.metrics, b.metrics);  // includes every workload.* series
+}
+
+TEST(WorkloadScenario, EmptyPlanLeavesNoWorkloadSurface) {
+  // The inert gate: a default (empty) plan registers nothing — no
+  // workload.* metric, no traffic.aborted_flows key, zero aborts — so
+  // metric snapshots of plain CBR runs are byte-identical to the
+  // pre-workload era (the committed BENCH_*.json files pin the digests).
+  const harness::ScenarioResult result = harness::runScenario(workloadBase());
+  EXPECT_EQ(result.abortedFlows, 0u);
+  for (const auto& [name, value] : result.metrics) {
+    (void)value;
+    EXPECT_NE(name.rfind("workload.", 0), 0u) << name;
+    EXPECT_NE(name, "traffic.aborted_flows");
+  }
+}
+
+TEST(WorkloadScenario, SinksAndClientsAreDisjoint) {
+  harness::ScenarioConfig config = workloadBase();
+  config.workload = activePlan();
+  config.workload.clientPopulation = 6;
+  config.workload.sinkCount = 2;
+
+  // Drive the generator directly so the drawn populations are visible.
+  test::TestNet net;
+  for (int i = 0; i < 10; ++i) {
+    net.addStatic(i, {100.0 * i, 100.0});
+  }
+  stats::PacketAccounting accounting;
+  traffic::WorkloadPlan plan = config.workload;
+  plan.stopTime = config.duration;
+  traffic::WorkloadGenerator generator(net.network, plan, accounting);
+
+  EXPECT_EQ(generator.sinks().size(), 2u);
+  EXPECT_EQ(generator.clients().size(), 6u);
+  for (net::NodeId client : generator.clients()) {
+    for (net::NodeId sink : generator.sinks()) {
+      EXPECT_NE(client, sink);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ecgrid
