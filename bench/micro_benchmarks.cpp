@@ -36,7 +36,7 @@ void BM_EventQueuePushPop(benchmark::State& state) {
                  [&fired] { ++fired; });
     }
     double time = 0.0;
-    std::function<void()> action;
+    sim::InlineTask action;
     while (queue.pop(time, action)) {
       action();
     }
@@ -58,7 +58,7 @@ void BM_EventCancellation(benchmark::State& state) {
     for (int i = 0; i < batch; i += 2) handles[i].cancel();
     int live = 0;
     double time = 0.0;
-    std::function<void()> action;
+    sim::InlineTask action;
     while (queue.pop(time, action)) {
       action();
       ++live;
@@ -81,7 +81,7 @@ void BM_EventQueueChurn(benchmark::State& state) {
   for (int i = 0; i < standing; ++i) {
     queue.push(rng.uniform(0.0, 10.0), [] {});
   }
-  std::function<void()> action;
+  sim::InlineTask action;
   for (auto _ : state) {
     queue.pop(now, action);
     queue.push(now + rng.uniform(0.0, 10.0), [] {});

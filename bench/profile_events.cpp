@@ -20,11 +20,15 @@
 //     1.0×: it reports the engine's bookkeeping overhead and the
 //     per-shard wall attribution (profile.shards.*), not a speedup.
 //   * dispatch scaling — a pure event-dispatch workload (self-
-//     rescheduling timers, no protocol work) on the serial
-//     std::function queue vs the windowed sharded engine. This is
-//     where sharding pays: inline task slots eliminate the per-event
-//     heap round-trip and each shard's heap is smaller. The headline
-//     `dispatch.speedup_shards4` metric is the PR's >= 2x gate.
+//     rescheduling timers, no protocol work) on the serial queue vs
+//     the windowed sharded engine. The serial queue is measured twice:
+//     with its InlineTask slots and with every closure boxed in a
+//     std::function first — the pre-PR-9 storage strategy — so
+//     `dispatch.serial_inline_speedup` reports what moving the serial
+//     engine onto inline slots bought. Sharding then pays on top:
+//     each shard's heap is smaller and cache-resident. The headline
+//     `dispatch.speedup_shards4` metric is the sharding PR's >= 2x
+//     gate.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -59,10 +63,10 @@ struct DeliveryPayload {
 /// task slots, is where the measured speedup comes from.
 constexpr int kStanding = 100'000;
 
-/// Serial-oracle dispatch baseline: a standing population of
-/// self-rescheduling std::function timers on the serial EventQueue —
-/// the same regime BM_EventQueueChurn measures, sized here in events
-/// per wall second.
+/// Serial dispatch baseline: a standing population of self-rescheduling
+/// timers on the serial EventQueue, closures held in the queue's
+/// InlineTask slots — the same regime BM_EventQueueChurn measures, sized
+/// here in events per wall second.
 double serialDispatchEventsPerSecond(std::uint64_t events) {
   using namespace ecgrid;
   sim::EventQueue queue;
@@ -76,13 +80,49 @@ double serialDispatchEventsPerSecond(std::uint64_t events) {
   }
   bench::WallTimer timer;
   double now = 0.0;
-  std::function<void()> action;
+  sim::InlineTask action;
   for (std::uint64_t i = 0; i < events; ++i) {
     queue.pop(now, action);
     action();
     payload.packet[0] = static_cast<unsigned char>(i);
     queue.push(now + rng.uniform(0.0, 1.0),
                [payload, &sink] { sink += payload.packet[0]; });
+  }
+  return events / timer.seconds();
+}
+
+/// The same workload under the pre-PR-9 storage strategy: every closure
+/// boxed in a std::function before scheduling. The payload exceeds
+/// std::function's small-buffer optimisation, so each push pays one heap
+/// allocation and each execution one free — exactly what the serial
+/// queue paid per delivered event before its slots moved to InlineTask.
+/// The delta against serialDispatchEventsPerSecond isolates the boxing
+/// cost; everything else (heap discipline, slab recycling, payload
+/// size) is identical.
+double serialStdFunctionDispatchEventsPerSecond(std::uint64_t events) {
+  using namespace ecgrid;
+  sim::EventQueue queue;
+  sim::RngStream rng(17);
+  std::uint64_t sink = 0;
+  DeliveryPayload payload;
+  auto boxedPush = [&](double at) {
+    std::function<void()> boxed = [payload, &sink] {
+      sink += payload.packet[0];
+    };
+    queue.push(at, [fn = std::move(boxed)] { fn(); });
+  };
+  for (int i = 0; i < kStanding; ++i) {
+    payload.packet[0] = static_cast<unsigned char>(i);
+    boxedPush(rng.uniform(0.0, 1.0));
+  }
+  bench::WallTimer timer;
+  double now = 0.0;
+  sim::InlineTask action;
+  for (std::uint64_t i = 0; i < events; ++i) {
+    queue.pop(now, action);
+    action();
+    payload.packet[0] = static_cast<unsigned char>(i);
+    boxedPush(now + rng.uniform(0.0, 1.0));
   }
   return events / timer.seconds();
 }
@@ -266,17 +306,24 @@ int main() {
   }
 
   // --- Dispatch shard scaling -------------------------------------------
-  // Pure event-dispatch throughput: serial std::function queue vs the
-  // windowed sharded engine at 1/2/4/8 shards. The >= 2x acceptance
-  // gate lives on dispatch.speedup_shards4.
+  // Pure event-dispatch throughput: the serial queue (InlineTask slots,
+  // with the pre-PR-9 std::function-boxed strategy alongside for the
+  // storage-migration delta) vs the windowed sharded engine at 1/2/4/8
+  // shards. The >= 2x acceptance gate lives on dispatch.speedup_shards4.
   {
     const std::uint64_t events = bench::quickMode() ? 400'000 : 4'000'000;
     std::printf("\nDispatch shard scaling (%llu events, standing timers):\n",
                 static_cast<unsigned long long>(events));
+    const double boxedRate = serialStdFunctionDispatchEventsPerSecond(events);
     const double serialRate = serialDispatchEventsPerSecond(events);
-    std::printf("  serial queue %10.0f events/s  (std::function slots)\n",
-                serialRate);
+    std::printf("  serial boxed %10.0f events/s  (std::function per event)\n",
+                boxedRate);
+    std::printf("  serial queue %10.0f events/s  (InlineTask slots, %.2fx "
+                "boxed)\n",
+                serialRate, serialRate / boxedRate);
+    report.addMetric("dispatch.serial_stdfunction.events_per_s", boxedRate);
     report.addMetric("dispatch.serial.events_per_s", serialRate);
+    report.addMetric("dispatch.serial_inline_speedup", serialRate / boxedRate);
     double rate4 = 0.0;
     for (int shards : {1, 2, 4, 8}) {
       const double rate = windowedDispatchEventsPerSecond(shards, events);

@@ -1,0 +1,182 @@
+#include "check/alloc_audit.hpp"
+
+#include "util/hot_path.hpp"
+
+#if defined(ECGRID_ALLOC_AUDIT)
+#include <cstdlib>
+#include <new>
+#if defined(__GLIBC__) || defined(__linux__)
+#include <execinfo.h>
+#include <unistd.h>
+#define ECGRID_ALLOC_AUDIT_HAS_BACKTRACE 1
+#endif
+#endif
+
+namespace ecgrid::check {
+
+namespace {
+
+constexpr int kPhaseCount = 3;
+
+/// Plain-old-data so the thread_local needs no dynamic initialisation —
+/// operator new may fire before any ecgrid code runs on a thread.
+struct AuditState {
+  std::uint64_t allocations[kPhaseCount];
+  std::uint64_t deallocations[kPhaseCount];
+  std::uint64_t bytes[kPhaseCount];
+  std::uint64_t hotAllocations[kPhaseCount];
+  std::uint8_t phase;
+};
+
+AuditState& state() noexcept {
+  thread_local AuditState s{};  // ecgrid-lint: allow(shared-mutable-global)
+  return s;
+}
+
+#if defined(ECGRID_ALLOC_AUDIT)
+
+/// With ECGRID_ALLOC_AUDIT_TRACE set in the environment, the first few
+/// steady-phase hot allocations dump a stack to stderr so the offending
+/// call site can be read off directly instead of bisected. Uses
+/// backtrace_symbols_fd, which writes to the fd without allocating — no
+/// recursion through the counting operator new.
+void maybeTraceHotAllocation() noexcept {
+#if defined(ECGRID_ALLOC_AUDIT_HAS_BACKTRACE)
+  static const bool enabled =
+      std::getenv("ECGRID_ALLOC_AUDIT_TRACE") != nullptr;
+  if (!enabled) return;
+  thread_local int remaining = 16;
+  if (remaining <= 0) return;
+  --remaining;
+  constexpr int kMaxFrames = 32;
+  void* frames[kMaxFrames];
+  const int depth = backtrace(frames, kMaxFrames);
+  constexpr char kHeader[] = "\n[alloc-audit] steady-phase hot allocation:\n";
+  // write() over fprintf: the stdio path may itself allocate buffers.
+  [[maybe_unused]] ssize_t ignored =
+      write(STDERR_FILENO, kHeader, sizeof(kHeader) - 1);
+  backtrace_symbols_fd(frames, depth, STDERR_FILENO);
+#endif
+}
+
+void recordAllocation(std::size_t size) noexcept {
+  AuditState& s = state();
+  const std::uint8_t phase = s.phase;
+  ++s.allocations[phase];
+  s.bytes[phase] += size;
+  if (util::hotPathDepth() > 0 && util::hotPathExemptDepth() == 0) {
+    ++s.hotAllocations[phase];
+    if (phase == static_cast<std::uint8_t>(AllocPhase::kSteady)) {
+      maybeTraceHotAllocation();
+    }
+  }
+}
+
+void recordDeallocation() noexcept { ++state().deallocations[state().phase]; }
+#endif
+
+}  // namespace
+
+bool allocAuditCompiled() noexcept {
+#if defined(ECGRID_ALLOC_AUDIT)
+  return true;
+#else
+  return false;
+#endif
+}
+
+void allocAuditReset() noexcept { state() = AuditState{}; }
+
+void allocAuditSetPhase(AllocPhase phase) noexcept {
+  state().phase = static_cast<std::uint8_t>(phase);
+}
+
+AllocPhase allocAuditPhase() noexcept {
+  return static_cast<AllocPhase>(state().phase);
+}
+
+AllocAuditCounts allocAuditCounts(AllocPhase phase) noexcept {
+  const AuditState& s = state();
+  const auto i = static_cast<std::uint8_t>(phase);
+  AllocAuditCounts counts;
+  counts.allocations = s.allocations[i];
+  counts.deallocations = s.deallocations[i];
+  counts.bytes = s.bytes[i];
+  counts.hotAllocations = s.hotAllocations[i];
+  return counts;
+}
+
+// The depth itself lives in util/hot_path.hpp (ECGRID_ALLOC_EXEMPT uses
+// the same counter from src/sim, below this module in the layering).
+AllocExemptScope::AllocExemptScope() noexcept { ++util::hotPathExemptDepth(); }
+AllocExemptScope::~AllocExemptScope() { --util::hotPathExemptDepth(); }
+
+}  // namespace ecgrid::check
+
+#if defined(ECGRID_ALLOC_AUDIT)
+
+// Counting replacements for the global allocation functions. The
+// standard nothrow and non-sized forms funnel through these, so every
+// heap allocation in the process is attributed. malloc/free do the real
+// work — no change in allocation behaviour, only observation.
+
+void* operator new(std::size_t size) {
+  ecgrid::check::recordAllocation(size);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  ecgrid::check::recordAllocation(size);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  ecgrid::check::recordAllocation(size);
+  const std::size_t alignment = static_cast<std::size_t>(align);
+  const std::size_t rounded = (size + alignment - 1) / alignment * alignment;
+  if (void* p = std::aligned_alloc(alignment, rounded)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* ptr) noexcept {
+  if (ptr == nullptr) return;
+  ecgrid::check::recordDeallocation();
+  std::free(ptr);
+}
+
+void operator delete[](void* ptr) noexcept { ::operator delete(ptr); }
+
+void operator delete(void* ptr, std::size_t) noexcept {
+  ::operator delete(ptr);
+}
+
+void operator delete[](void* ptr, std::size_t) noexcept {
+  ::operator delete(ptr);
+}
+
+void operator delete(void* ptr, std::align_val_t) noexcept {
+  if (ptr == nullptr) return;
+  ecgrid::check::recordDeallocation();
+  std::free(ptr);
+}
+
+void operator delete[](void* ptr, std::align_val_t align) noexcept {
+  ::operator delete(ptr, align);
+}
+
+void operator delete(void* ptr, std::size_t, std::align_val_t align) noexcept {
+  ::operator delete(ptr, align);
+}
+
+void operator delete[](void* ptr, std::size_t,
+                       std::align_val_t align) noexcept {
+  ::operator delete(ptr, align);
+}
+
+#endif  // ECGRID_ALLOC_AUDIT

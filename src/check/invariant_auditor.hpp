@@ -33,7 +33,7 @@ struct Violation {
   sim::Time when = sim::kTimeZero;
 };
 
-enum class FailMode {
+enum class FailMode : std::uint8_t {
   kThrow,   ///< throw std::logic_error on the first violation
   kRecord,  ///< collect violations; caller inspects violations()
 };

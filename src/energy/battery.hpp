@@ -8,6 +8,8 @@
 // upper (R ≥ 0.6), boundary (0.2 ≤ R < 0.6), lower (R < 0.2).
 #pragma once
 
+#include <cstdint>
+
 #include <functional>
 #include <limits>
 
@@ -18,7 +20,7 @@ namespace ecgrid::energy {
 
 /// Paper's three-way classification of remaining battery capacity, plus
 /// Dead for an exhausted host.
-enum class BatteryLevel {
+enum class BatteryLevel : std::uint8_t {
   kUpper,     ///< R_brc >= 0.6
   kBoundary,  ///< 0.2 <= R_brc < 0.6
   kLower,     ///< 0 < R_brc < 0.2

@@ -7,13 +7,15 @@
 // explicitly ignored by the paper and is therefore zero here.
 #pragma once
 
+#include <cstdint>
+
 #include "util/error.hpp"
 
 namespace ecgrid::energy {
 
 /// Power-relevant radio state. `Off` models a dead host (battery empty)
 /// and draws nothing.
-enum class PowerState {
+enum class PowerState : std::uint8_t {
   kTx,
   kRx,
   kIdle,

@@ -18,6 +18,8 @@
 // byte-identical to a simulation without the fault layer at all.
 #pragma once
 
+#include <cstdint>
+
 #include <vector>
 
 #include "net/packet.hpp"
@@ -25,7 +27,7 @@
 
 namespace ecgrid::fault {
 
-enum class ChannelErrorKind {
+enum class ChannelErrorKind : std::uint8_t {
   kNone,            ///< ideal channel (collisions only)
   kIid,             ///< every delivery lost independently with lossProbability
   kGilbertElliott,  ///< two-state burst-loss Markov chain per receiver

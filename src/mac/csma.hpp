@@ -18,7 +18,6 @@
 // standard broadcast-storm mitigation.
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <set>
 #include <utility>
@@ -30,6 +29,8 @@
 #include "phy/radio.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
+#include "util/bounded_ring.hpp"
+#include "util/hot_path.hpp"
 #include "util/ownership.hpp"
 
 namespace ecgrid::mac {
@@ -89,6 +90,8 @@ class ECGRID_DOMAIN_PER_HOST CsmaMac final : public net::LinkLayer {
     int txAttempts = 0;   ///< actual transmissions (ARQ)
     int cw = 0;           ///< current contention window
   };
+  /// One per queued frame, ring-resident up to queueLimit deep per host.
+  ECGRID_LAYOUT_BUDGET(Pending, 64);
 
   void onRadioFrame(const net::Packet& frame);
   void scheduleAccess();
@@ -104,7 +107,10 @@ class ECGRID_DOMAIN_PER_HOST CsmaMac final : public net::LinkLayer {
   CsmaConfig config_;
   sim::RngStream rng_;
 
-  std::deque<Pending> queue_;
+  /// FIFO of frames awaiting channel access, bounded by queueLimit.
+  /// A ring, not a deque: deque block churn on pop/push is steady-state
+  /// allocation the hot-path lint and alloc-audit gate both flag.
+  util::BoundedRing<Pending> queue_;
   bool accessPending_ = false;
   bool transmitting_ = false;
   bool awaitingAck_ = false;
@@ -115,9 +121,11 @@ class ECGRID_DOMAIN_PER_HOST CsmaMac final : public net::LinkLayer {
   std::function<void(const net::Packet&)> upperReceive_;
   std::function<void(const net::Packet&)> sendFailure_;
 
-  // Duplicate suppression for retransmitted unicasts.
+  // Duplicate suppression for retransmitted unicasts. The set carries a
+  // lint allow where it grows: node-based churn, but bounded at
+  // dedupWindow entries and evicted in FIFO order by the ring below.
   std::set<std::pair<net::NodeId, std::uint64_t>> seen_;
-  std::deque<std::pair<net::NodeId, std::uint64_t>> seenOrder_;
+  util::BoundedRing<std::pair<net::NodeId, std::uint64_t>> seenOrder_;
 
   std::uint64_t framesSent_ = 0;
   std::uint64_t framesDropped_ = 0;

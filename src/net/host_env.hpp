@@ -22,7 +22,7 @@ namespace ecgrid::net {
 
 /// RAS paging signal kinds (paper §2–§3): a host's paging sequence is its
 /// unique ID; a grid's "broadcast sequence" is its coordinate.
-enum class PageKind {
+enum class PageKind : std::uint8_t {
   kHost,  ///< wake one specific host
   kGrid,  ///< wake every host in a grid (gateway election / RETIRE)
 };

@@ -39,7 +39,7 @@ namespace ecgrid::obs {
 /// strings), so emission reads as a brace list:
 ///   tracer->instant("mac", "drop", node, {{"reason", "retry_limit"}});
 struct TraceField {
-  enum class Kind { kInt, kDouble, kString };
+  enum class Kind : std::uint8_t { kInt, kDouble, kString };
 
   TraceField(const char* key, int value)
       : key(key), kind(Kind::kInt), intValue(value) {}

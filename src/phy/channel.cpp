@@ -6,6 +6,7 @@
 #include "obs/observability.hpp"
 #include "phy/radio.hpp"
 #include "util/error.hpp"
+#include "util/hot_path.hpp"
 
 namespace ecgrid::phy {
 
@@ -16,6 +17,11 @@ namespace {
 // the sender's 3x3 neighbourhood. Any factor > 1 works; 1/16 extra keeps
 // the candidate blocks tight.
 constexpr double kIndexCellMargin = 1.0625;
+
+// Candidate scratch capacity: a 3x3 bucket neighbourhood at paper-baseline
+// densities holds a few dozen radios; 256 covers city-scale hotspots so
+// steady-state transmissions never grow the buffer.
+constexpr std::size_t kInitialScratch = 256;
 }  // namespace
 
 Channel::Channel(sim::Simulator& sim, const ChannelConfig& config)
@@ -31,6 +37,7 @@ Channel::Channel(sim::Simulator& sim, const ChannelConfig& config)
         std::max(config_.rangeMeters, config_.interferenceRangeMeters);
     index_.emplace(reach * kIndexCellMargin);
   }
+  scratch_.reserve(kInitialScratch);
 }
 
 sim::Time Channel::frameAirtime(int bytes) const {
@@ -80,9 +87,12 @@ const geo::GridMap* Channel::indexGrid() const {
   return index_ ? &index_->grid() : nullptr;
 }
 
-void Channel::deliverTo(const Attachment& attachment, net::NodeId senderId,
-                        const geo::Vec2& senderPos, const net::Packet& stamped,
-                        sim::Time duration) {
+ECGRID_HOT_PATH void Channel::deliverTo(const Attachment& attachment,
+                                        net::NodeId senderId,
+                                        const geo::Vec2& senderPos,
+                                        const net::Packet& stamped,
+                                        sim::Time duration) {
+  ECGRID_HOT_SCOPE();
   const double rangeSq = config_.rangeMeters * config_.rangeMeters;
   const double interfSq =
       config_.interferenceRangeMeters * config_.interferenceRangeMeters;
@@ -125,8 +135,10 @@ void Channel::deliverTo(const Attachment& attachment, net::NodeId senderId,
   }
 }
 
-void Channel::transmitFrom(Radio& sender, const net::Packet& packet,
-                           sim::Time duration) {
+ECGRID_HOT_PATH void Channel::transmitFrom(Radio& sender,
+                                           const net::Packet& packet,
+                                           sim::Time duration) {
+  ECGRID_HOT_SCOPE();
   ++framesTransmitted_;
   mFramesTransmitted_.add();
   net::Packet stamped = packet;

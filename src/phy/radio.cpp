@@ -5,12 +5,18 @@
 
 #include "phy/channel.hpp"
 #include "util/error.hpp"
+#include "util/hot_path.hpp"
 #include "util/log.hpp"
 
 namespace ecgrid::phy {
 
 namespace {
 constexpr const char* kTag = "radio";
+
+// Concurrent arrivals at one receiver (decodable + interference energy).
+// CSMA keeps real overlap to a handful; 16 covers collision bursts so
+// steady-state receptions never grow the vector.
+constexpr std::size_t kInitialReceptions = 16;
 }
 
 const char* toString(RadioState s) {
@@ -52,6 +58,7 @@ energy::PowerState toPowerState(RadioState s) {
 Radio::Radio(sim::Simulator& sim, energy::Battery& battery,
              const energy::PowerProfile& profile, net::NodeId id)
     : sim_(sim), battery_(battery), profile_(profile), id_(id) {
+  receptions_.reserve(kInitialReceptions);
   battery_.setPowerW(profile_.totalPowerW(energy::PowerState::kIdle),
                      sim_.now());
   rearmDepletion();
@@ -117,7 +124,9 @@ void Radio::powerUp() {
   setState(RadioState::kIdle);
 }
 
-void Radio::transmit(const net::Packet& packet, sim::Time duration) {
+ECGRID_HOT_PATH void Radio::transmit(const net::Packet& packet,
+                                     sim::Time duration) {
+  ECGRID_HOT_SCOPE();
   ECGRID_REQUIRE(duration > 0.0, "transmit duration must be positive");
   ECGRID_CHECK(channel_ != nullptr, "radio not attached to a channel");
   if (state_ == RadioState::kOff || state_ == RadioState::kSleep) return;
@@ -156,7 +165,11 @@ void Radio::wake() {
   setState(RadioState::kIdle);
 }
 
-void Radio::beginReceive(const net::Packet& packet, sim::Time duration) {
+ECGRID_HOT_PATH void Radio::beginReceive(const net::Packet& packet,
+                                         sim::Time duration) {
+  // Trace logging below allocates when enabled; the audit gate runs with
+  // logging at its default level, where both branches are dormant.
+  ECGRID_HOT_SCOPE();
   if (state_ == RadioState::kOff || state_ == RadioState::kSleep ||
       state_ == RadioState::kTx) {
     if (packet.macDst == id_) {
@@ -194,7 +207,7 @@ void Radio::beginReceive(const net::Packet& packet, sim::Time duration) {
   setState(RadioState::kRx);
 }
 
-void Radio::onReceptionEnd(std::size_t token) {
+ECGRID_HOT_PATH void Radio::onReceptionEnd(std::size_t token) {
   auto it = std::find_if(receptions_.begin(), receptions_.end(),
                          [&](const auto& p) { return p.first == token; });
   if (it == receptions_.end()) return;
@@ -204,12 +217,16 @@ void Radio::onReceptionEnd(std::size_t token) {
     setState(RadioState::kIdle);
   }
   if (finished.corrupted) return;
+  // No runtime hot scope past this point: onFrame_ climbs into the MAC
+  // and routing layers, whose event bodies may allocate legitimately
+  // (ACK headers, dedup entries, route-table updates).
   const net::Packet& pkt = finished.packet;
   bool forUs = net::isBroadcast(pkt.macDst) || pkt.macDst == id_;
   if (forUs && onFrame_) onFrame_(pkt);
 }
 
-void Radio::beginInterference(sim::Time duration) {
+ECGRID_HOT_PATH void Radio::beginInterference(sim::Time duration) {
+  ECGRID_HOT_SCOPE();
   if (state_ == RadioState::kOff || state_ == RadioState::kSleep ||
       state_ == RadioState::kTx) {
     return;
@@ -220,7 +237,7 @@ void Radio::beginInterference(sim::Time duration) {
   for (auto& [token, rx] : receptions_) rx.corrupted = true;
 }
 
-sim::Time Radio::mediumIdleAt() const {
+ECGRID_HOT_PATH sim::Time Radio::mediumIdleAt() const {
   sim::Time now = sim_.now();
   sim::Time idleAt = now;
   if (state_ == RadioState::kTx && txEndsAt_ > idleAt) idleAt = txEndsAt_;

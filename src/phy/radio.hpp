@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -19,13 +20,14 @@
 #include "energy/power_profile.hpp"
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
+#include "util/hot_path.hpp"
 #include "util/ownership.hpp"
 
 namespace ecgrid::phy {
 
 class Channel;
 
-enum class RadioState {
+enum class RadioState : std::uint8_t {
   kIdle,
   kTx,
   kRx,
@@ -165,5 +167,10 @@ class ECGRID_DOMAIN_PER_HOST Radio {
   std::function<void()> onTxComplete_;
   std::function<void()> onDeath_;
 };
+
+/// One Radio per host at city scale: three std::function callbacks
+/// (96 B) plus the power profile dominate; the budget keeps incidental
+/// state from creeping in.
+ECGRID_LAYOUT_BUDGET(Radio, 280);
 
 }  // namespace ecgrid::phy

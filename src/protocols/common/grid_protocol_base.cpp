@@ -2,6 +2,7 @@
 
 #include "obs/observability.hpp"
 #include "util/error.hpp"
+#include "util/hot_path.hpp"
 #include "util/log.hpp"
 
 namespace ecgrid::protocols {
@@ -149,13 +150,13 @@ std::shared_ptr<const HelloHeader> GridProtocolBase::makeHelloHeader() {
       self.distToCenter, env_.position());
 }
 
-void GridProtocolBase::sendHello() {
+ECGRID_HOT_PATH void GridProtocolBase::sendHello() {
   if (role_ == Role::kDead || role_ == Role::kSleeping) return;
   broadcastFrameRaw(makeHelloHeader());
   lastHelloSent_ = env_.simulator().now();
 }
 
-void GridProtocolBase::helloTick() {
+ECGRID_HOT_PATH void GridProtocolBase::helloTick() {
   if (role_ == Role::kDead) return;
   if (role_ != Role::kSleeping) {
     sendHello();
@@ -347,7 +348,7 @@ void GridProtocolBase::onNoGateway() { startElection(); }
 // --------------------------------------------------------------------------
 // frame handling
 
-void GridProtocolBase::onFrame(const net::Packet& frame) {
+ECGRID_HOT_PATH void GridProtocolBase::onFrame(const net::Packet& frame) {
   if (role_ == Role::kDead || role_ == Role::kSleeping) return;
   if (const auto* hello = frame.headerAs<HelloHeader>()) {
     handleHello(frame, *hello);
@@ -388,7 +389,7 @@ void GridProtocolBase::onFrame(const net::Packet& frame) {
   }
 }
 
-void GridProtocolBase::handleHello(const net::Packet& frame,
+ECGRID_HOT_PATH void GridProtocolBase::handleHello(const net::Packet& frame,
                                    const HelloHeader& hello) {
   (void)frame;
   sim::Time now = env_.simulator().now();
@@ -499,7 +500,7 @@ void GridProtocolBase::handleAcq(const net::Packet& frame,
   unicastFrame(acq.host(), makeHelloHeader());
 }
 
-void GridProtocolBase::handleData(const net::Packet& frame,
+ECGRID_HOT_PATH void GridProtocolBase::handleData(const net::Packet& frame,
                                   const DataHeader& data) {
   if (data.appDst() == env_.id()) {
     env_.deliverToApp(data.appSrc(), data.tag(), data.payloadBytes());
@@ -668,7 +669,7 @@ void GridProtocolBase::onSendFailed(const net::Packet& packet) {
   }
 }
 
-void GridProtocolBase::unicastFrame(net::NodeId to,
+ECGRID_HOT_PATH void GridProtocolBase::unicastFrame(net::NodeId to,
                                     std::shared_ptr<const net::Header> header) {
   net::Packet frame;
   frame.macSrc = env_.id();
@@ -677,7 +678,7 @@ void GridProtocolBase::unicastFrame(net::NodeId to,
   env_.link().send(frame);
 }
 
-void GridProtocolBase::broadcastFrameRaw(
+ECGRID_HOT_PATH void GridProtocolBase::broadcastFrameRaw(
     std::shared_ptr<const net::Header> header) {
   net::Packet frame;
   frame.macSrc = env_.id();
@@ -686,7 +687,7 @@ void GridProtocolBase::broadcastFrameRaw(
   env_.link().send(frame);
 }
 
-void GridProtocolBase::deliverToLocalHost(net::NodeId dst,
+ECGRID_HOT_PATH void GridProtocolBase::deliverToLocalHost(net::NodeId dst,
                                           const net::Packet& frame) {
   // GRID: every host is awake, so the final hop is a plain unicast.
   unicastFrame(dst, frame.header);

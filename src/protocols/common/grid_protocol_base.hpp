@@ -18,6 +18,8 @@
 //     delivery, and battery-level load balancing on top.
 #pragma once
 
+#include <cstdint>
+
 #include <deque>
 #include <functional>
 #include <map>
@@ -52,7 +54,7 @@ struct GridProtocolConfig {
 
 class ECGRID_DOMAIN_PER_HOST GridProtocolBase : public net::RoutingProtocol {
  public:
-  enum class Role {
+  enum class Role : std::uint8_t {
     kUndecided,  ///< collecting HELLOs before the first election
     kMember,     ///< active non-gateway
     kGateway,

@@ -2,6 +2,7 @@
 
 #include "obs/observability.hpp"
 #include "util/error.hpp"
+#include "util/hot_path.hpp"
 #include "util/log.hpp"
 
 namespace ecgrid::protocols {
@@ -73,7 +74,7 @@ bool RoutingEngine::unicastToGridRouter(
   return true;
 }
 
-bool RoutingEngine::onFrame(const net::Packet& frame) {
+ECGRID_HOT_PATH bool RoutingEngine::onFrame(const net::Packet& frame) {
   if (const auto* rreq = frame.headerAs<RreqHeader>()) {
     onRreq(frame, *rreq);
     return true;
@@ -93,7 +94,7 @@ bool RoutingEngine::onFrame(const net::Packet& frame) {
   return false;
 }
 
-void RoutingEngine::routeData(const net::Packet& frame,
+ECGRID_HOT_PATH void RoutingEngine::routeData(const net::Packet& frame,
                               const DataHeader& data) {
   sim::Time now = env_.simulator().now();
   net::NodeId dst = data.appDst();
@@ -141,7 +142,9 @@ void RoutingEngine::routeData(const net::Packet& frame,
   auto it = discoveries_.find(dst);
   if (it != discoveries_.end()) {
     if (it->second.pendingData.size() < config_.pendingLimit) {
-      it->second.pendingData.push_back(frame);
+      // Route-repair buffer, bounded at pendingLimit packets and only
+      // populated while a discovery is outstanding — not steady state.
+      it->second.pendingData.push_back(frame);  // ecgrid-lint: allow(hot-path-container-growth)
     } else {
       ++stats_.dataDropped;
       mDataDropped_.add();

@@ -14,6 +14,7 @@
 #include "geo/grid.hpp"
 #include "protocols/common/messages.hpp"
 #include "sim/time.hpp"
+#include "util/hot_path.hpp"
 #include "util/ownership.hpp"
 
 namespace ecgrid::protocols {
@@ -30,6 +31,9 @@ struct RouteEntry {
   sim::Time expiry = sim::kTimeZero;
   int hopCount = 0;
 };
+/// One per (host, destination) pair — the dominant per-host state at city
+/// scale, so growth here multiplies across the whole population.
+ECGRID_LAYOUT_BUDGET(RouteEntry, 40);
 
 class ECGRID_DOMAIN_PER_HOST RoutingTable {
  public:

@@ -11,6 +11,7 @@
 #include "geo/grid.hpp"
 #include "net/packet.hpp"
 #include "sim/time.hpp"
+#include "util/hot_path.hpp"
 #include "util/ownership.hpp"
 
 namespace ecgrid::protocols {
@@ -71,6 +72,7 @@ class ECGRID_DOMAIN_PER_HOST NeighbourGatewayTable {
     geo::Vec2 position;
     sim::Time lastHeard = sim::kTimeZero;
   };
+  ECGRID_LAYOUT_BUDGET(Entry, 32);
   sim::Time staleAfter_;
   std::map<geo::GridCoord, Entry> entries_;
 };
@@ -108,6 +110,7 @@ class ECGRID_DOMAIN_PER_HOST HostTable {
     bool sleeping = false;
     sim::Time lastSeen = sim::kTimeZero;
   };
+  ECGRID_LAYOUT_BUDGET(Entry, 16);
   sim::Time activeStaleAfter_;
   std::map<net::NodeId, Entry> hosts_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.hpp"
+#include "util/hot_path.hpp"
 #include "util/log.hpp"
 
 namespace ecgrid::protocols {
@@ -195,7 +196,7 @@ void GafProtocol::sleepFor(sim::Time duration) {
 // --------------------------------------------------------------------------
 // beacons
 
-void GafProtocol::beacon() {
+ECGRID_HOT_PATH void GafProtocol::beacon() {
   if (state_ == State::kDead || state_ == State::kSleep) return;
   NodeState advertised = config_.endpointMode ? NodeState::kEndpoint
                          : state_ == State::kActive ? NodeState::kActive
@@ -203,7 +204,9 @@ void GafProtocol::beacon() {
   double enat = state_ == State::kActive
                     ? std::max(0.0, activeUntil_ - env_.simulator().now())
                     : 0.0;
-  auto disc = std::make_shared<GafDiscoveryHeader>(
+  // The discovery header is GAF's wire object — one allocation per
+  // beacon, shared by every copy the channel fans out.
+  auto disc = std::make_shared<GafDiscoveryHeader>(  // ecgrid-lint: allow(hot-path-allocation)
       env_.id(), env_.cell(), advertised, myRank(), enat, env_.position());
   net::Packet frame;
   frame.macSrc = env_.id();
@@ -212,7 +215,7 @@ void GafProtocol::beacon() {
   env_.link().send(frame);
 }
 
-void GafProtocol::beaconTick() {
+ECGRID_HOT_PATH void GafProtocol::beaconTick() {
   if (state_ == State::kDead) return;
   if (state_ != State::kSleep) beacon();
   beaconTimer_ = env_.simulator().schedule(
@@ -224,7 +227,7 @@ void GafProtocol::beaconTick() {
 // --------------------------------------------------------------------------
 // frames
 
-void GafProtocol::handleDiscovery(const net::Packet& frame,
+ECGRID_HOT_PATH void GafProtocol::handleDiscovery(const net::Packet& frame,
                                   const GafDiscoveryHeader& disc) {
   (void)frame;
   sim::Time now = env_.simulator().now();
@@ -257,7 +260,7 @@ void GafProtocol::handleDiscovery(const net::Packet& frame,
   }
 }
 
-void GafProtocol::onFrame(const net::Packet& packet) {
+ECGRID_HOT_PATH void GafProtocol::onFrame(const net::Packet& packet) {
   if (state_ == State::kDead || state_ == State::kSleep) return;
   if (const auto* disc = packet.headerAs<GafDiscoveryHeader>()) {
     handleDiscovery(packet, *disc);
@@ -399,7 +402,7 @@ void GafProtocol::onCellChanged(const geo::GridCoord& from,
   enterDiscovery();
 }
 
-void GafProtocol::unicastFrame(net::NodeId to,
+ECGRID_HOT_PATH void GafProtocol::unicastFrame(net::NodeId to,
                                std::shared_ptr<const net::Header> header) {
   net::Packet frame;
   frame.macSrc = env_.id();

@@ -19,6 +19,8 @@
 // ratio (our stand-in for GAF's expected-node-active-time), then lower id.
 #pragma once
 
+#include <cstdint>
+
 #include <deque>
 #include <functional>
 #include <map>
@@ -37,7 +39,7 @@ namespace ecgrid::protocols {
 /// remaining active time (enat) sleepers base Ts on.
 class GafDiscoveryHeader final : public net::Header {
  public:
-  enum class NodeState { kDiscovery, kActive, kEndpoint };
+  enum class NodeState : std::uint8_t { kDiscovery, kActive, kEndpoint };
 
   GafDiscoveryHeader(net::NodeId id, geo::GridCoord grid, NodeState state,
                      double rank, double enatRemaining, geo::Vec2 position)
@@ -79,7 +81,7 @@ struct GafConfig {
 
 class ECGRID_DOMAIN_PER_HOST GafProtocol final : public net::RoutingProtocol {
  public:
-  enum class State { kDiscovery, kActive, kSleep, kDead };
+  enum class State : std::uint8_t { kDiscovery, kActive, kSleep, kDead };
 
   GafProtocol(net::HostEnv& env, const GafConfig& config);
 

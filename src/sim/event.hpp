@@ -7,9 +7,13 @@
 //
 // Storage is a slab: event records live in a pooled free-list and are
 // addressed by (index, generation) handles, so steady-state scheduling
-// performs no heap allocation beyond what the closures themselves capture
-// (the old design paid one shared_ptr control block per event). The heap
-// is an inlined binary heap of plain (time, sequence, slot) entries.
+// performs no heap allocation at all — closures are stored as InlineTask
+// (sim/task.hpp), which keeps hot-path captures in the slot itself (the
+// pre-PR-9 design paid one std::function heap box per event whose capture
+// exceeded 16 bytes, and the design before that a shared_ptr control
+// block per event). The heap is an inlined binary heap of plain
+// (time, sequence, slot) entries. The `alloc-audit` preset proves the
+// zero-allocation property at runtime (src/check/alloc_audit.hpp).
 //
 // Cancellation is O(1): the handle flips a flag on the pooled record and
 // the queue discards flagged records lazily when they reach the top. A
@@ -20,12 +24,13 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <vector>
 
 #include "sim/rng.hpp"
+#include "sim/task.hpp"
 #include "sim/time.hpp"
+#include "util/hot_path.hpp"
 #include "util/ownership.hpp"
 
 namespace ecgrid::sim {
@@ -88,15 +93,16 @@ inline EventHandle EventTarget::makeHandle(EventTarget* target,
 /// back to the queue.
 class ECGRID_DOMAIN_PER_SCENARIO EventQueue : public EventTarget {
  public:
-  EventQueue() = default;
+  EventQueue();
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
   /// `label` is an optional schedule-site tag for the execution profiler
   /// (see Simulator::schedule); it must point at storage outliving the
-  /// queue — in practice a string literal.
-  EventHandle push(Time time, std::function<void()> action,
-                   const char* label = nullptr);
+  /// queue — in practice a string literal. Any callable converts to
+  /// InlineTask implicitly; hot-path captures up to
+  /// InlineTask::kInlineBytes stay allocation-free.
+  EventHandle push(Time time, InlineTask action, const char* label = nullptr);
 
   /// Determinism-analysis debug mode (src/check): replace the insertion-
   /// sequence tie-break among equal-time events with random keys drawn
@@ -113,10 +119,10 @@ class ECGRID_DOMAIN_PER_SCENARIO EventQueue : public EventTarget {
   /// action into the out-parameters and removes it. Returns false when the
   /// queue is empty. The event's slot is recycled on the *next* pop, so
   /// handles to it stay pending() while the caller runs the action.
-  bool pop(Time& time, std::function<void()>& action);
+  bool pop(Time& time, InlineTask& action);
   /// As above, also reporting the event's schedule-site label (nullptr
   /// when the push site gave none).
-  bool pop(Time& time, std::function<void()>& action, const char*& label);
+  bool pop(Time& time, InlineTask& action, const char*& label);
 
   /// Time of the next live event, or kTimeNever if empty.
   Time peekTime();
@@ -140,9 +146,13 @@ class ECGRID_DOMAIN_PER_SCENARIO EventQueue : public EventTarget {
     bool live = false;       ///< allocated: queued or currently executing
     bool cancelled = false;
     const char* label = nullptr;  ///< schedule-site tag (static storage)
-    std::function<void()> action;
+    InlineTask action;
     std::uint32_t nextFree = kNoSlot;
   };
+  /// The slab holds one Slot per in-flight event; at city scale that is
+  /// hundreds of thousands. InlineTask (96B inline + 3 fn ptrs, padded to
+  /// 16-byte alignment) dominates.
+  ECGRID_LAYOUT_BUDGET(Slot, 176);
 
   struct HeapEntry {
     Time time = kTimeZero;
@@ -152,6 +162,7 @@ class ECGRID_DOMAIN_PER_SCENARIO EventQueue : public EventTarget {
     std::uint64_t sequence = 0;
     std::uint32_t slot = 0;
   };
+  ECGRID_LAYOUT_BUDGET(HeapEntry, 32);
 
   static bool earlier(const HeapEntry& a, const HeapEntry& b) {
     if (a.time != b.time) return a.time < b.time;
@@ -159,12 +170,20 @@ class ECGRID_DOMAIN_PER_SCENARIO EventQueue : public EventTarget {
     return a.sequence < b.sequence;
   }
 
+  /// Purge threshold: once at least this many cancelled records sit in
+  /// the heap AND they make up half of it, purgeCancelled() rebuilds the
+  /// heap without them. Keeps cancel-heavy workloads (depletion re-arms,
+  /// ack timeouts) from growing the queue with dead far-future entries;
+  /// the floor keeps small queues from purging constantly.
+  static constexpr std::size_t kPurgeFloor = 64;
+
   std::uint32_t allocSlot();
   void freeSlot(std::uint32_t index);
   void removeHeapTop();
   void siftUp(std::size_t i);
   void siftDown(std::size_t i);
   void skipCancelled();
+  void purgeCancelled();
 
   std::vector<Slot> slots_;
   std::vector<HeapEntry> heap_;
@@ -172,6 +191,7 @@ class ECGRID_DOMAIN_PER_SCENARIO EventQueue : public EventTarget {
   std::uint32_t freeHead_ = kNoSlot;
   std::uint32_t executing_ = kNoSlot;  ///< slot recycled on next pop
   std::uint64_t nextSequence_ = 0;
+  std::size_t cancelledInHeap_ = 0;  ///< cancelled records awaiting reclaim
 };
 
 inline void EventHandle::cancel() {

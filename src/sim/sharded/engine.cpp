@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "util/error.hpp"
+#include "util/hot_path.hpp"
 
 namespace ecgrid::sim::sharded {
 
@@ -25,6 +26,7 @@ ShardedEngine::ShardedEngine(const ShardedEngineConfig& config)
     mailboxes_.push_back(std::make_unique<EdgeMailbox>());
   }
   edgeDirty_.assign(edges, 0);
+  dirtyEdges_.reserve(edges);
 }
 
 void ShardedEngine::registerHost(std::uint64_t key,
@@ -52,14 +54,18 @@ EventKey ShardedEngine::nextSequencedKey(Time time) {
   return EventKey{time, tieKey, sequence};
 }
 
-EventHandle ShardedEngine::pushLocal(Time time, InlineTask task,
-                                     const char* label) {
+ECGRID_HOT_PATH EventHandle ShardedEngine::pushLocal(Time time,
+                                                     InlineTask task,
+                                                     const char* label) {
+  ECGRID_HOT_SCOPE();
   return queues_[static_cast<std::size_t>(currentShard_)]->push(
       nextSequencedKey(time), std::move(task), label);
 }
 
-EventHandle ShardedEngine::pushFor(std::uint64_t ownerKey, Time time,
-                                   InlineTask task, const char* label) {
+ECGRID_HOT_PATH EventHandle ShardedEngine::pushFor(std::uint64_t ownerKey,
+                                                   Time time, InlineTask task,
+                                                   const char* label) {
+  ECGRID_HOT_SCOPE();
   const int target = map_.shardOfHost(ownerKey);
   const EventKey key = nextSequencedKey(time);
   if (target == currentShard_) {
@@ -77,7 +83,7 @@ EventHandle ShardedEngine::pushFor(std::uint64_t ownerKey, Time time,
   return EventHandle{};
 }
 
-void ShardedEngine::drainDirtyEdges() {
+ECGRID_HOT_PATH void ShardedEngine::drainDirtyEdges() {
   if (dirtyEdges_.empty()) return;
   for (std::size_t edge : dirtyEdges_) {
     const int target = static_cast<int>(
@@ -89,8 +95,9 @@ void ShardedEngine::drainDirtyEdges() {
   dirtyEdges_.clear();
 }
 
-bool ShardedEngine::popNext(Time& time, InlineTask& task, const char*& label,
-                            int& shard) {
+ECGRID_HOT_PATH bool ShardedEngine::popNext(Time& time, InlineTask& task,
+                                            const char*& label, int& shard) {
+  ECGRID_HOT_SCOPE();
   drainDirtyEdges();
   int best = -1;
   const EventKey* bestKey = nullptr;

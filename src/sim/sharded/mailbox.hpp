@@ -29,7 +29,7 @@ namespace ecgrid::sim::sharded {
 
 class ECGRID_DOMAIN_PER_SCENARIO EdgeMailbox {
  public:
-  EdgeMailbox() = default;
+  EdgeMailbox();
   EdgeMailbox(const EdgeMailbox&) = delete;
   EdgeMailbox& operator=(const EdgeMailbox&) = delete;
 
@@ -54,9 +54,16 @@ class ECGRID_DOMAIN_PER_SCENARIO EdgeMailbox {
     InlineTask task;
     const char* label = nullptr;
   };
+  ECGRID_LAYOUT_BUDGET(Posting, 176);
 
   util::Mutex mutex_;
   std::vector<Posting> postings_ ECGRID_GUARDED_BY(mutex_);
+  /// Drain-side scratch, swapped with postings_ under the lock so both
+  /// buffers keep their high-water capacity — draining must not return
+  /// the producer to a zero-capacity vector (steady-state churn the
+  /// alloc audit would flag). Touched only by the draining (consumer)
+  /// side outside the lock; the swap under the lock is the hand-off.
+  std::vector<Posting> drainScratch_;
 };
 
 }  // namespace ecgrid::sim::sharded

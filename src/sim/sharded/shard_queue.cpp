@@ -3,20 +3,37 @@
 #include <utility>
 
 #include "util/error.hpp"
+#include "util/hot_path.hpp"
 
 namespace ecgrid::sim::sharded {
 
-std::uint32_t ShardQueue::allocSlot() {
+namespace {
+/// Pre-sized like the serial EventQueue so baseline runs never grow the
+/// slab vectors on the hot path (the alloc-audit gate would count it).
+constexpr std::size_t kInitialSlots = 256;
+}  // namespace
+
+ShardQueue::ShardQueue() {
+  slots_.reserve(kInitialSlots);
+  heap_.reserve(kInitialSlots);
+}
+
+ECGRID_HOT_PATH std::uint32_t ShardQueue::allocSlot() {
   if (freeHead_ != kNoSlot) {
     std::uint32_t index = freeHead_;
     freeHead_ = slots_[index].nextFree;
     return index;
   }
+  if (slots_.size() == slots_.capacity()) {
+    // High-water slab growth, audit-exempt — see the serial EventQueue.
+    ECGRID_ALLOC_EXEMPT();
+    slots_.reserve(slots_.empty() ? kInitialSlots : slots_.capacity() * 2);
+  }
   slots_.emplace_back();
   return static_cast<std::uint32_t>(slots_.size() - 1);
 }
 
-void ShardQueue::freeSlot(std::uint32_t index) {
+ECGRID_HOT_PATH void ShardQueue::freeSlot(std::uint32_t index) {
   Slot& slot = slots_[index];
   slot.live = false;
   slot.cancelled = false;
@@ -27,7 +44,7 @@ void ShardQueue::freeSlot(std::uint32_t index) {
   freeHead_ = index;
 }
 
-EventHandle ShardQueue::push(const EventKey& key, InlineTask task,
+ECGRID_HOT_PATH EventHandle ShardQueue::push(const EventKey& key, InlineTask task,
                              const char* label) {
   ECGRID_REQUIRE(static_cast<bool>(task), "event task must be callable");
   std::uint32_t index = allocSlot();
@@ -37,12 +54,17 @@ EventHandle ShardQueue::push(const EventKey& key, InlineTask task,
   slot.cancelled = false;
   slot.label = label;
   slot.task = std::move(task);
+  if (heap_.size() == heap_.capacity()) {
+    // High-water growth, same argument as the slab in allocSlot().
+    ECGRID_ALLOC_EXEMPT();
+    heap_.reserve(heap_.empty() ? kInitialSlots : heap_.capacity() * 2);
+  }
   heap_.push_back(HeapEntry{key, index});
   siftUp(heap_.size() - 1);
   return makeHandle(this, index, slot.generation);
 }
 
-void ShardQueue::siftUp(std::size_t i) {
+ECGRID_HOT_PATH void ShardQueue::siftUp(std::size_t i) {
   HeapEntry entry = heap_[i];
   while (i > 0) {
     std::size_t parent = (i - 1) / 2;
@@ -53,7 +75,7 @@ void ShardQueue::siftUp(std::size_t i) {
   heap_[i] = entry;
 }
 
-void ShardQueue::siftDown(std::size_t i) {
+ECGRID_HOT_PATH void ShardQueue::siftDown(std::size_t i) {
   const std::size_t size = heap_.size();
   HeapEntry entry = heap_[i];
   while (true) {
@@ -68,17 +90,34 @@ void ShardQueue::siftDown(std::size_t i) {
   heap_[i] = entry;
 }
 
-void ShardQueue::removeHeapTop() {
+ECGRID_HOT_PATH void ShardQueue::removeHeapTop() {
   heap_.front() = heap_.back();
   heap_.pop_back();
   if (!heap_.empty()) siftDown(0);
 }
 
-void ShardQueue::skipCancelled() {
+ECGRID_HOT_PATH void ShardQueue::skipCancelled() {
   while (!heap_.empty() && slots_[heap_.front().slot].cancelled) {
     freeSlot(heap_.front().slot);
     removeHeapTop();
+    --cancelledInHeap_;
   }
+}
+
+ECGRID_HOT_PATH void ShardQueue::purgeCancelled() {
+  std::size_t kept = 0;
+  for (const HeapEntry& entry : heap_) {
+    if (slots_[entry.slot].cancelled) {
+      freeSlot(entry.slot);
+    } else {
+      heap_[kept++] = entry;
+    }
+  }
+  heap_.resize(kept);
+  // Bottom-up heapify; pop order is fixed by the EventKey total order
+  // alone, so the digest gate against the serial oracle is unaffected.
+  for (std::size_t i = kept / 2; i-- > 0;) siftDown(i);
+  cancelledInHeap_ = 0;
 }
 
 const EventKey* ShardQueue::peek() {
@@ -86,7 +125,7 @@ const EventKey* ShardQueue::peek() {
   return heap_.empty() ? nullptr : &heap_.front().key;
 }
 
-bool ShardQueue::popFront(Time& time, InlineTask& task, const char*& label) {
+ECGRID_HOT_PATH bool ShardQueue::popFront(Time& time, InlineTask& task, const char*& label) {
   ECGRID_REQUIRE(executing_ == kNoSlot,
                  "previous event not finished (finishExecuting missing)");
   skipCancelled();
@@ -112,9 +151,18 @@ void ShardQueue::cancelSlot(std::uint32_t slot, std::uint32_t generation) {
   if (slot >= slots_.size()) return;
   Slot& record = slots_[slot];
   if (!record.live || record.generation != generation) return;
+  if (record.cancelled) return;
   record.cancelled = true;
   // Release the closure eagerly, matching the serial queue.
   record.task.reset();
+  // Count-and-purge, matching the serial queue: cancel-heavy workloads
+  // must not grow the heap with dead far-future entries.
+  if (slot != executing_) {
+    ++cancelledInHeap_;
+    if (cancelledInHeap_ >= kPurgeFloor && cancelledInHeap_ * 2 >= heap_.size()) {
+      purgeCancelled();
+    }
+  }
 }
 
 bool ShardQueue::slotPending(std::uint32_t slot,

@@ -47,7 +47,7 @@ inline bool earlierKey(const EventKey& a, const EventKey& b) {
 
 class ECGRID_DOMAIN_PER_SCENARIO ShardQueue : public EventTarget {
  public:
-  ShardQueue() = default;
+  ShardQueue();
   ShardQueue(const ShardQueue&) = delete;
   ShardQueue& operator=(const ShardQueue&) = delete;
 
@@ -90,11 +90,20 @@ class ECGRID_DOMAIN_PER_SCENARIO ShardQueue : public EventTarget {
     InlineTask task;
     std::uint32_t nextFree = kNoSlot;
   };
+  /// Same shape (and budget) as the serial EventQueue::Slot: one per
+  /// in-flight event, InlineTask-dominated, 16-byte aligned.
+  ECGRID_LAYOUT_BUDGET(Slot, 176);
 
   struct HeapEntry {
     EventKey key;
     std::uint32_t slot = 0;
   };
+  ECGRID_LAYOUT_BUDGET(HeapEntry, 32);
+
+  /// Purge threshold, matching the serial EventQueue: rebuild the heap
+  /// without cancelled records once they are at least this many AND half
+  /// the heap, so cancel-heavy workloads stay bounded.
+  static constexpr std::size_t kPurgeFloor = 64;
 
   std::uint32_t allocSlot();
   void freeSlot(std::uint32_t index);
@@ -102,11 +111,13 @@ class ECGRID_DOMAIN_PER_SCENARIO ShardQueue : public EventTarget {
   void siftUp(std::size_t i);
   void siftDown(std::size_t i);
   void skipCancelled();
+  void purgeCancelled();
 
   std::vector<Slot> slots_;
   std::vector<HeapEntry> heap_;
   std::uint32_t freeHead_ = kNoSlot;
   std::uint32_t executing_ = kNoSlot;
+  std::size_t cancelledInHeap_ = 0;  ///< cancelled records awaiting reclaim
 };
 
 }  // namespace ecgrid::sim::sharded

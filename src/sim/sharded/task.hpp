@@ -1,105 +1,13 @@
-// InlineTask — move-only callable with inline storage for event payloads.
-//
-// The serial EventQueue stores events as std::function<void()>, whose
-// 16-byte small-buffer optimisation forces a heap allocation for the hot
-// phy/deliver closure (receiver pointer + 48-byte Packet + duration ≈ 64
-// bytes) — one malloc/free pair per delivered frame. The sharded engine's
-// per-shard queues store InlineTask instead: any nothrow-movable callable
-// up to kInlineBytes lives directly in the pooled event slot, so
-// steady-state dispatch performs no heap traffic at all. Larger callables
-// fall back to a heap box transparently (same observable semantics).
-//
-// A std::function itself is 32 bytes and therefore always fits inline,
-// which is how Simulator's unchanged std::function-based schedule API
-// rides on the sharded queues without double indirection: the function
-// object (and whatever allocation it already made) is moved, never
-// re-wrapped.
+// InlineTask moved to sim/task.hpp when the serial EventQueue adopted the
+// inline-slot shape (PR 9) — the serial oracle and the shard queues now
+// share one task type. This alias header keeps existing
+// sim::sharded::InlineTask spellings compiling.
 #pragma once
 
-#include <cstddef>
-#include <type_traits>
-#include <utility>
-
-#include "util/ownership.hpp"
+#include "sim/task.hpp"
 
 namespace ecgrid::sim::sharded {
 
-class ECGRID_DOMAIN_PER_SCENARIO InlineTask {
- public:
-  /// Sized for the largest hot-path closure (phy/deliver: receiver
-  /// pointer + net::Packet + duration) with headroom for one more
-  /// capture; anything bigger transparently boxes on the heap.
-  static constexpr std::size_t kInlineBytes = 96;
-
-  InlineTask() = default;
-
-  template <class F,
-            class = std::enable_if_t<
-                !std::is_same_v<std::decay_t<F>, InlineTask>>>
-  InlineTask(F&& callable) {  // NOLINT(google-explicit-constructor)
-    using Fn = std::decay_t<F>;
-    if constexpr (sizeof(Fn) <= kInlineBytes &&
-                  alignof(Fn) <= alignof(std::max_align_t) &&
-                  std::is_nothrow_move_constructible_v<Fn>) {
-      new (static_cast<void*>(storage_)) Fn(std::forward<F>(callable));
-      invoke_ = [](void* p) { (*static_cast<Fn*>(p))(); };
-      relocate_ = [](void* from, void* to) {
-        Fn* src = static_cast<Fn*>(from);
-        new (to) Fn(std::move(*src));
-        src->~Fn();
-      };
-      destroy_ = [](void* p) { static_cast<Fn*>(p)->~Fn(); };
-    } else {
-      // Heap box: the slot stores only the pointer.
-      new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(callable)));
-      invoke_ = [](void* p) { (**static_cast<Fn**>(p))(); };
-      relocate_ = [](void* from, void* to) {
-        new (to) Fn*(*static_cast<Fn**>(from));
-      };
-      destroy_ = [](void* p) { delete *static_cast<Fn**>(p); };
-    }
-  }
-
-  InlineTask(InlineTask&& other) noexcept { moveFrom(other); }
-  InlineTask& operator=(InlineTask&& other) noexcept {
-    if (this != &other) {
-      reset();
-      moveFrom(other);
-    }
-    return *this;
-  }
-  InlineTask(const InlineTask&) = delete;
-  InlineTask& operator=(const InlineTask&) = delete;
-  ~InlineTask() { reset(); }
-
-  void operator()() { invoke_(storage_); }
-
-  [[nodiscard]] explicit operator bool() const { return invoke_ != nullptr; }
-
-  /// Destroy the held callable (no-op when empty).
-  void reset() {
-    if (destroy_ != nullptr) destroy_(storage_);
-    invoke_ = nullptr;
-    relocate_ = nullptr;
-    destroy_ = nullptr;
-  }
-
- private:
-  void moveFrom(InlineTask& other) {
-    if (other.invoke_ == nullptr) return;
-    other.relocate_(other.storage_, storage_);
-    invoke_ = other.invoke_;
-    relocate_ = other.relocate_;
-    destroy_ = other.destroy_;
-    other.invoke_ = nullptr;
-    other.relocate_ = nullptr;
-    other.destroy_ = nullptr;
-  }
-
-  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
-  void (*invoke_)(void*) = nullptr;
-  void (*relocate_)(void*, void*) = nullptr;
-  void (*destroy_)(void*) = nullptr;
-};
+using InlineTask = ::ecgrid::sim::InlineTask;
 
 }  // namespace ecgrid::sim::sharded

@@ -41,8 +41,10 @@ Simulator::HostScope::~HostScope() {
   if (engine_ != nullptr) engine_->exitHost(previousShard_);
 }
 
-EventHandle Simulator::schedule(Time delay, std::function<void()> action,
-                                const char* label) {
+ECGRID_HOT_PATH EventHandle Simulator::scheduleTaskIn(Time delay,
+                                                      InlineTask action,
+                                                      const char* label) {
+  ECGRID_HOT_SCOPE();
   ECGRID_REQUIRE(delay >= 0.0, "cannot schedule into the past");
   if (engine_ != nullptr) {
     return engine_->pushLocal(now_ + delay, std::move(action), label);
@@ -50,8 +52,10 @@ EventHandle Simulator::schedule(Time delay, std::function<void()> action,
   return queue_.push(now_ + delay, std::move(action), label);
 }
 
-EventHandle Simulator::scheduleAt(Time when, std::function<void()> action,
-                                  const char* label) {
+ECGRID_HOT_PATH EventHandle Simulator::scheduleTaskAt(Time when,
+                                                      InlineTask action,
+                                                      const char* label) {
+  ECGRID_HOT_SCOPE();
   ECGRID_REQUIRE(when >= now_, "cannot schedule into the past");
   if (engine_ != nullptr) {
     return engine_->pushLocal(when, std::move(action), label);
@@ -59,9 +63,11 @@ EventHandle Simulator::scheduleAt(Time when, std::function<void()> action,
   return queue_.push(when, std::move(action), label);
 }
 
-EventHandle Simulator::scheduleFor(std::uint64_t ownerKey, Time delay,
-                                   std::function<void()> action,
-                                   const char* label) {
+ECGRID_HOT_PATH EventHandle Simulator::scheduleTaskFor(std::uint64_t ownerKey,
+                                                       Time delay,
+                                                       InlineTask action,
+                                                       const char* label) {
+  ECGRID_HOT_SCOPE();
   ECGRID_REQUIRE(delay >= 0.0, "cannot schedule into the past");
   if (engine_ != nullptr) {
     return engine_->pushFor(ownerKey, now_ + delay, std::move(action), label);
@@ -94,11 +100,11 @@ void Simulator::setPeriodicHook(std::uint64_t everyEvents,
   hook_ = std::move(hook);
 }
 
-bool Simulator::step(Time until) {
+ECGRID_HOT_PATH bool Simulator::step(Time until) {
   if (engine_ != nullptr) return stepSharded(until);
   if (queue_.peekTime() > until) return false;
   Time time = kTimeZero;
-  std::function<void()> action;
+  InlineTask action;
   const char* label = nullptr;
   if (!queue_.pop(time, action, label)) return false;
   now_ = time;
@@ -124,7 +130,7 @@ bool Simulator::step(Time until) {
   return true;
 }
 
-bool Simulator::stepSharded(Time until) {
+ECGRID_HOT_PATH bool Simulator::stepSharded(Time until) {
   // Mirror of the serial step() above, event for event: same clock
   // advance, same counter bump, same probe and hook points — the engine
   // only changes where the event record lives.

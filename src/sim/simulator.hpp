@@ -21,7 +21,9 @@
 
 #include "sim/event.hpp"
 #include "sim/rng.hpp"
+#include "sim/task.hpp"
 #include "sim/time.hpp"
+#include "util/hot_path.hpp"
 #include "util/log.hpp"
 #include "util/ownership.hpp"
 
@@ -60,13 +62,26 @@ class ECGRID_DOMAIN_PER_SCENARIO Simulator {
   /// `label` optionally tags the schedule site for the execution profiler
   /// ("mac/access", "phy/deliver", ...); it must be a string literal (or
   /// other storage outliving the simulator) — nullptr is fine and costs
-  /// nothing.
-  EventHandle schedule(Time delay, std::function<void()> action,
-                       const char* label = nullptr);
+  /// nothing. Accepts any callable; it is packed into an InlineTask at
+  /// the call site (sim/task.hpp), so captures up to
+  /// InlineTask::kInlineBytes never touch the heap — the pre-PR-9
+  /// std::function signature boxed every capture over 16 bytes.
+  template <class F>
+  ECGRID_HOT_PATH EventHandle schedule(Time delay, F&& action,
+                                       const char* label = nullptr) {
+    // Scope opens before the InlineTask packs, so a heap-boxed oversized
+    // closure scheduled in steady state is caught by the alloc audit.
+    ECGRID_HOT_SCOPE();
+    return scheduleTaskIn(delay, InlineTask(std::forward<F>(action)), label);
+  }
 
   /// Schedule `action` at absolute time `when` (when >= now()).
-  EventHandle scheduleAt(Time when, std::function<void()> action,
-                         const char* label = nullptr);
+  template <class F>
+  ECGRID_HOT_PATH EventHandle scheduleAt(Time when, F&& action,
+                                         const char* label = nullptr) {
+    ECGRID_HOT_SCOPE();
+    return scheduleTaskAt(when, InlineTask(std::forward<F>(action)), label);
+  }
 
   /// Schedule `action` on behalf of host `ownerKey` (hostEventKey of its
   /// node id) — the boundary-crossing entry point for shared-medium
@@ -76,9 +91,21 @@ class ECGRID_DOMAIN_PER_SCENARIO Simulator {
   /// the sender executes elsewhere. Cross-shard deliveries are fire-and-
   /// forget: the returned handle is inert for them (every call site
   /// discards it).
-  EventHandle scheduleFor(std::uint64_t ownerKey, Time delay,
-                          std::function<void()> action,
-                          const char* label = nullptr);
+  template <class F>
+  ECGRID_HOT_PATH EventHandle scheduleFor(std::uint64_t ownerKey, Time delay,
+                                          F&& action,
+                                          const char* label = nullptr) {
+    ECGRID_HOT_SCOPE();
+    return scheduleTaskFor(ownerKey, delay,
+                           InlineTask(std::forward<F>(action)), label);
+  }
+
+  /// Monomorphic backends behind the schedule templates (the templates
+  /// only build the InlineTask; everything else stays out of line).
+  EventHandle scheduleTaskIn(Time delay, InlineTask action, const char* label);
+  EventHandle scheduleTaskAt(Time when, InlineTask action, const char* label);
+  EventHandle scheduleTaskFor(std::uint64_t ownerKey, Time delay,
+                              InlineTask action, const char* label);
 
   /// Run events until the queue drains or the clock passes `until`.
   /// Events scheduled exactly at `until` are executed.

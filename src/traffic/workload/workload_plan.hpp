@@ -17,6 +17,8 @@
 // (tests/workload_test.cpp gates that).
 #pragma once
 
+#include <cstdint>
+
 #include <string>
 #include <vector>
 
@@ -25,7 +27,7 @@
 
 namespace ecgrid::traffic {
 
-enum class ArrivalKind {
+enum class ArrivalKind : std::uint8_t {
   kPoisson,     ///< memoryless open-loop arrivals at sessionsPerSecond
   kParetoOnOff  ///< Pareto-sojourn ON/OFF bursts; Poisson arrivals at
                 ///< sessionsPerSecond *within* ON periods only

@@ -27,7 +27,7 @@ class JsonValue;
 using JsonArray = std::vector<JsonValue>;
 using JsonObject = std::map<std::string, JsonValue>;
 
-enum class JsonKind { kNull, kBool, kNumber, kString, kArray, kObject };
+enum class JsonKind : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
 
 const char* toString(JsonKind kind);
 

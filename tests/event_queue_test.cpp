@@ -87,7 +87,7 @@ TEST_P(QueueStress, InterleavedOpsMatchReferenceModel) {
       refs[victim]->cancelled = true;
     } else {
       Time time = 0.0;
-      std::function<void()> action;
+      InlineTask action;
       if (queue.pop(time, action)) action();
       auto refTop = ref.pop();
       if (refTop != nullptr) refPopped.push_back(refTop->tag);
@@ -118,7 +118,7 @@ TEST_P(QueueStress, InterleavedOpsMatchReferenceModel) {
   // Drain both completely; total order must agree to the last event.
   while (true) {
     Time time = 0.0;
-    std::function<void()> action;
+    InlineTask action;
     bool live = queue.pop(time, action);
     auto refTop = ref.pop();
     ASSERT_EQ(live, refTop != nullptr);
@@ -147,7 +147,7 @@ TEST(EventQueuePool, HandlesFromPriorCyclesStayDead) {
     for (EventHandle& h : stale) h.cancel();  // must not hit new events
     for (const EventHandle& h : fresh) EXPECT_TRUE(h.pending());
     Time time = 0.0;
-    std::function<void()> action;
+    InlineTask action;
     int popCount = 0;
     while (queue.pop(time, action)) {
       action();

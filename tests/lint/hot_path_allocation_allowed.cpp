@@ -1,0 +1,31 @@
+// ecgrid-lint-fixture: expect-clean
+//
+// The same allocation with a justified allow() stays clean, and
+// placement new never fires at all — it constructs into storage that
+// someone else allocated.
+#include <memory>
+#include <new>
+
+#define ECGRID_HOT_PATH
+
+struct Header {
+  int bytes = 0;
+};
+
+struct Dispatcher {
+  std::shared_ptr<Header> last;
+  alignas(Header) unsigned char storage[sizeof(Header)];
+
+  ECGRID_HOT_PATH void onFrame(int size) {
+    // The header is the wire object: one allocation per frame by design.
+    last = std::make_shared<Header>();  // ecgrid-lint: allow(hot-path-allocation)
+    last->bytes = size;
+    Header* inPlace = new (storage) Header{};
+    inPlace->bytes = size;
+  }
+
+  void coldPath() {
+    // Not annotated: allocation here is nobody's business.
+    last = std::make_shared<Header>();
+  }
+};

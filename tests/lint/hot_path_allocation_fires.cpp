@@ -1,0 +1,20 @@
+// ecgrid-lint-fixture: expect-violation(hot-path-allocation)
+//
+// make_shared inside an ECGRID_HOT_PATH-annotated function body must
+// fire: steady-state event dispatch may not touch the allocator.
+#include <memory>
+
+#define ECGRID_HOT_PATH
+
+struct Header {
+  int bytes = 0;
+};
+
+struct Dispatcher {
+  std::shared_ptr<Header> last;
+
+  ECGRID_HOT_PATH void onFrame(int size) {
+    last = std::make_shared<Header>();
+    last->bytes = size;
+  }
+};

@@ -1,0 +1,18 @@
+// ecgrid-lint-fixture: expect-clean
+//
+// The same push_back is clean once the receiver is visibly reserve()d
+// in this file — growth then only happens up to the pre-sized
+// high-water mark.
+#include <vector>
+
+#define ECGRID_HOT_PATH
+
+struct Queue {
+  std::vector<int> items;
+
+  Queue() { items.reserve(256); }
+
+  ECGRID_HOT_PATH void enqueue(int value) {
+    items.push_back(value);
+  }
+};

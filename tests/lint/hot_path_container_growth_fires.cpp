@@ -1,0 +1,15 @@
+// ecgrid-lint-fixture: expect-violation(hot-path-container-growth)
+//
+// push_back in a hot region with no reserve() of the receiver anywhere
+// in the file: steady-state reallocation waiting to happen.
+#include <vector>
+
+#define ECGRID_HOT_PATH
+
+struct Queue {
+  std::vector<int> items;
+
+  ECGRID_HOT_PATH void enqueue(int value) {
+    items.push_back(value);
+  }
+};

@@ -1,0 +1,25 @@
+// ecgrid-lint-fixture: expect-violation(hot-path-allocation)
+//
+// BEGIN/END region markers scope the rules without a function
+// annotation: the allocation between them fires, the identical one
+// after END does not (the self-test's stray-finding check pins that
+// down, since a second finding would be reported as unexpected).
+#include <memory>
+
+#define ECGRID_HOT_PATH_BEGIN
+#define ECGRID_HOT_PATH_END
+
+struct Header {
+  int bytes = 0;
+};
+
+std::shared_ptr<Header> hotSpan() {
+  ECGRID_HOT_PATH_BEGIN
+  auto header = std::make_shared<Header>();
+  ECGRID_HOT_PATH_END
+  return header;
+}
+
+std::shared_ptr<Header> coldSpan() {
+  return std::make_shared<Header>();
+}

@@ -1,0 +1,8 @@
+// ecgrid-lint-fixture-path: src/sim/task.hpp
+// ecgrid-lint-fixture: expect-clean
+//
+// The budget macro next to the definition satisfies the census.
+struct InlineTask {
+  void* storage;
+};
+ECGRID_LAYOUT_BUDGET(InlineTask, 128);

@@ -1,0 +1,8 @@
+// ecgrid-lint-fixture-path: src/sim/task.hpp
+// ecgrid-lint-fixture: expect-violation(layout-budget)
+//
+// A census'd hot struct (InlineTask lives in src/sim/task.hpp) defined
+// without its ECGRID_LAYOUT_BUDGET must fire.
+struct InlineTask {
+  void* storage;
+};

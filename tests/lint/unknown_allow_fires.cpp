@@ -1,0 +1,8 @@
+// ecgrid-lint-fixture: expect-violation(unknown-allow)
+//
+// An allow() naming a rule this tool does not know suppresses nothing
+// — before PR 9 it was silently ignored; now it fails the sweep with a
+// locus so the typo gets fixed.
+int answer() {
+  return 42;  // ecgrid-lint: allow(hot-path-alocation)
+}

@@ -14,7 +14,7 @@ namespace {
 // Run every remaining live event to completion through the pooled-pop API.
 void drain(EventQueue& queue) {
   Time time = kTimeZero;
-  std::function<void()> action;
+  InlineTask action;
   while (queue.pop(time, action)) action();
 }
 
@@ -54,7 +54,7 @@ TEST(EventQueue, CancelIsIdempotentAndSafeAfterFire) {
   EventQueue queue;
   EventHandle handle = queue.push(1.0, [] {});
   Time time = kTimeZero;
-  std::function<void()> action;
+  InlineTask action;
   ASSERT_TRUE(queue.pop(time, action));
   action();
   handle.cancel();  // already fired: must not blow up
@@ -72,7 +72,7 @@ TEST(EventQueue, HandleStaysPendingWhileItsEventRuns) {
   bool sawPending = false;
   handle = queue.push(1.0, [&] { sawPending = handle.pending(); });
   Time time = kTimeZero;
-  std::function<void()> action;
+  InlineTask action;
   ASSERT_TRUE(queue.pop(time, action));
   action();
   EXPECT_TRUE(sawPending);
@@ -107,7 +107,7 @@ TEST(EventQueue, EmptyQueueReportsNever) {
   EXPECT_TRUE(queue.empty());
   EXPECT_GE(queue.peekTime(), kTimeNever);
   Time time = kTimeZero;
-  std::function<void()> action;
+  InlineTask action;
   EXPECT_FALSE(queue.pop(time, action));
 }
 
