@@ -1,13 +1,17 @@
 // Quickstart: run one ECGRID scenario and print the headline numbers.
 //
 //   $ ./quickstart [--protocol ECGRID|GRID|GAF|FLOOD] [--hosts N]
-//                  [--speed M/S] [--duration S] [--seed N]
-//                  [--trace-events PATH] [--profile] [--log SPEC]
+//                  [--speed M/S] [--duration S] [--seed N] [--shards N]
+//                  [--trace-events PATH] [--telemetry PATH] [--profile]
+//                  [--log SPEC]
 //
 // This is the smallest complete use of the library: configure a scenario,
 // run it, read the result. The observability flags:
 //   --trace-events=ev.jsonl  write protocol event spans (convert with
 //                            tools/trace_chrome.py, open in Perfetto)
+//   --telemetry=tm.jsonl     stream run-health samples (ecgrid-telemetry
+//                            v1; validate with tools/trace_check.py)
+//   --telemetry-every=N      telemetry cadence in committed events
 //   --profile                per-event-label dispatch counts + wall time
 //   --log=info,mac=debug     per-component log levels with sim-time stamps
 #include <algorithm>
@@ -24,7 +28,8 @@ int main(int argc, char** argv) {
   util::Flags flags(argc, argv,
                     {"protocol", "hosts", "speed", "duration", "seed",
                      "flows", "pps", "latency-percentiles", "trace-events",
-                     "profile", "log"});
+                     "telemetry", "telemetry-every", "shards", "profile",
+                     "log"});
 
   harness::ScenarioConfig config;
   auto protocol =
@@ -41,6 +46,10 @@ int main(int argc, char** argv) {
   config.flowCount = flags.getInt("flows", 10);
   config.packetsPerSecondPerFlow = flags.getDouble("pps", 1.0);
   config.eventTracePath = flags.getString("trace-events", "");
+  config.telemetryPath = flags.getString("telemetry", "");
+  config.telemetryEveryEvents =
+      static_cast<std::uint64_t>(flags.getInt("telemetry-every", 16384));
+  config.shards = flags.getInt("shards", 1);
   config.profileSimulator = flags.getBool("profile", false);
   if (flags.has("log")) {
     util::Logger::configure(flags.getString("log", "info"));
@@ -122,6 +131,14 @@ int main(int argc, char** argv) {
                 "tools/trace_chrome.py)\n",
                 config.eventTracePath.c_str(),
                 static_cast<unsigned long long>(result.traceEventsWritten));
+  }
+  if (!config.telemetryPath.empty()) {
+    std::printf("  telemetry            : %s (%llu samples; peak queue %llu, "
+                "slab %llu slots; validate with tools/trace_check.py)\n",
+                config.telemetryPath.c_str(),
+                static_cast<unsigned long long>(result.telemetrySamples),
+                static_cast<unsigned long long>(result.peakQueueDepth),
+                static_cast<unsigned long long>(result.slabSlotsTotal));
   }
   if (config.profileSimulator) {
     std::printf("  profile (top event labels by wall time):\n");

@@ -54,6 +54,19 @@ struct CampaignOptions {
   long maxRuns = -1;
   /// Optional progress sink (one human-readable line per batch).
   std::function<void(const std::string&)> progress;
+
+  /// Live status heartbeat (PR 10): when non-empty, a JSON snapshot of
+  /// this worker's progress — counts, in-flight fingerprints, wall-time
+  /// percentiles of completed runs, ETA, stragglers flagged at
+  /// `stragglerFactor`× the median wall time — is rewritten (atomically,
+  /// via rename) before and after every batch and once more with
+  /// done=true at exit. The status file is ephemeral and wall-clock-laden
+  /// by design; nothing in it ever feeds the byte-reproducible results
+  /// JSONL.
+  std::string statusPath;
+  /// A completed run is a straggler when its wall time reaches this
+  /// multiple of the median completed wall time (<= 0 disables).
+  double stragglerFactor = 4.0;
 };
 
 struct CampaignOutcome {

@@ -1,6 +1,7 @@
 #include "harness/scenario.hpp"
 
 #include <algorithm>
+#include <chrono>  // ecgrid-lint: allow(banned-random)
 #include <memory>
 #include <numeric>
 #include <optional>
@@ -132,6 +133,37 @@ ScenarioResult runScenario(const ScenarioConfig& config) {
   if (config.profileSimulator) {
     profiler = &observability.enableProfiler(config.profileQueueSampleEvents);
   }
+  obs::RunTelemetry* telemetry = nullptr;
+  if (!config.telemetryPath.empty()) {
+    ECGRID_REQUIRE(config.telemetryEveryEvents > 0,
+                   "telemetry needs a positive sample period");
+    telemetry = &observability.openTelemetry(
+        config.telemetryPath, config.telemetryEveryEvents,
+        {{"protocol", toString(config.protocol)},
+         {"seed", std::to_string(config.seed)},
+         {"shards", std::to_string(config.shards)}});
+    // obs/ may not include src/check (layer DAG), so the harness injects
+    // the alloc-audit counters the samples report.
+    telemetry->setAllocSampler([] {
+      obs::AllocSample sample;
+      const check::AllocPhase phase = check::allocAuditPhase();
+      switch (phase) {
+        case check::AllocPhase::kSetup:
+          sample.phase = "setup";
+          break;
+        case check::AllocPhase::kWarmup:
+          sample.phase = "warmup";
+          break;
+        case check::AllocPhase::kSteady:
+          sample.phase = "steady";
+          break;
+      }
+      const check::AllocAuditCounts counts = check::allocAuditCounts(phase);
+      sample.allocations = counts.allocations;
+      sample.hotAllocations = counts.hotAllocations;
+      return sample;
+    });
+  }
 
   net::NetworkConfig netConfig;
   netConfig.gridCellSide = config.gridCellSide;
@@ -233,16 +265,23 @@ ScenarioResult runScenario(const ScenarioConfig& config) {
     check::installStandardAudits(auditor, network, auditOptions);
   }
 
-  // The Simulator has a single periodic hook; the auditor and the digest
-  // recorder share it at the gcd of their periods (std::gcd(0, n) == n,
-  // so a lone subscriber keeps its exact cadence).
+  // The Simulator has a single periodic hook; the auditor, the digest
+  // recorder, and the telemetry sampler share it at the gcd of their
+  // periods (std::gcd(0, n) == n, so a lone subscriber keeps its exact
+  // cadence). Telemetry samples by committed-event count, not wall time,
+  // so which samples exist is machine-independent.
   check::DigestTrace digestTrace;
   const std::uint64_t auditEvery =
       config.auditInvariants ? config.auditPeriodEvents : 0;
   const std::uint64_t digestEvery = config.digestEveryEvents;
-  if (auditEvery > 0 || digestEvery > 0) {
+  const std::uint64_t telemetryEvery =
+      telemetry != nullptr ? config.telemetryEveryEvents : 0;
+  const bool hookInstalled =
+      auditEvery > 0 || digestEvery > 0 || telemetryEvery > 0;
+  if (hookInstalled) {
     simulator.setPeriodicHook(
-        std::gcd(auditEvery, digestEvery), [&, auditEvery, digestEvery] {
+        std::gcd(std::gcd(auditEvery, digestEvery), telemetryEvery),
+        [&, auditEvery, digestEvery, telemetryEvery] {
           const std::uint64_t n = simulator.eventsExecuted();
           if (auditEvery > 0 && n % auditEvery == 0) {
             auditor.run(simulator.now());
@@ -251,8 +290,17 @@ ScenarioResult runScenario(const ScenarioConfig& config) {
             digestTrace.push_back(
                 {n, simulator.now(), check::stateDigest(network)});
           }
+          if (telemetryEvery > 0 && n % telemetryEvery == 0) {
+            telemetry->sample();
+          }
         });
   }
+
+  // Run-loop wall timer: reporting-only (campaign status heartbeat and
+  // straggler detection read ScenarioResult::runWallSeconds); never fed
+  // back into the simulation or serialized into campaign records.
+  // ecgrid-lint: allow(banned-random)
+  const auto runWallStart = std::chrono::steady_clock::now();
 
   network.start();
   // Warmup/steady split for the allocation audit. Running to the warmup
@@ -302,11 +350,20 @@ ScenarioResult runScenario(const ScenarioConfig& config) {
     digestTrace.push_back({simulator.eventsExecuted(), simulator.now(),
                            check::stateDigest(network)});
   }
-  if (auditEvery > 0 || digestEvery > 0) {
+  if (hookInstalled) {
     simulator.setPeriodicHook(0, nullptr);
+  }
+  if (telemetry != nullptr) {
+    // Closing summary record at the horizon, after the closing audit and
+    // digest samples so its event count matches the final digest's.
+    telemetry->finish();
   }
 
   ScenarioResult result;
+  // ecgrid-lint: allow(banned-random)
+  const auto runWallEnd = std::chrono::steady_clock::now();
+  result.runWallSeconds =
+      std::chrono::duration<double>(runWallEnd - runWallStart).count();
   result.allocAudit.enabled = check::allocAuditCompiled();
   result.allocAudit.setupAllocations = setupCounts.allocations;
   result.allocAudit.warmupAllocations = warmupCounts.allocations;
@@ -344,6 +401,24 @@ ScenarioResult runScenario(const ScenarioConfig& config) {
   if (const sim::sharded::ShardedEngine* engine = simulator.shardedEngine()) {
     result.crossShardEvents = engine->crossShardEvents();
     result.shardMigrations = engine->hostMigrations();
+    result.shardCommitted = engine->committedPerShard();
+    result.shardWindowStalls = engine->windowStalls();
+    std::uint64_t total = 0;
+    std::uint64_t peak = 0;
+    for (std::uint64_t count : result.shardCommitted) {
+      total += count;
+      peak = std::max(peak, count);
+    }
+    if (total > 0 && result.shardCommitted.size() > 1) {
+      result.shardImbalance =
+          static_cast<double>(peak) * static_cast<double>(result.shardCommitted.size()) /
+          static_cast<double>(total);
+    }
+  }
+  result.peakQueueDepth = static_cast<std::uint64_t>(simulator.peakQueueDepth());
+  result.slabSlotsTotal = static_cast<std::uint64_t>(simulator.slabSlotsTotal());
+  if (telemetry != nullptr) {
+    result.telemetrySamples = telemetry->samplesWritten();
   }
 
   for (auto& nodePtr : network.nodes()) {

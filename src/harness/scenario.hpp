@@ -140,6 +140,18 @@ struct ScenarioConfig {
   /// byte-identical with tracing on or off (gated in tests/obs_test.cpp).
   std::string eventTracePath;
 
+  /// Run-health telemetry (obs::RunTelemetry): when non-empty, stream
+  /// "ecgrid-telemetry" v1 JSONL health samples — sim-time progress vs
+  /// wall time, events/s, queue depth and slab high-water, per-shard
+  /// dispatch counts, alloc-audit phase counters — into this file,
+  /// sampled every `telemetryEveryEvents` committed events (shares the
+  /// periodic hook with the auditor and digest sampler). Sampling reads
+  /// state only — no RNG, no scheduling — so replay digests stay
+  /// byte-identical with telemetry armed (gated in
+  /// tests/telemetry_test.cpp). Validate output with tools/trace_check.py.
+  std::string telemetryPath;
+  std::uint64_t telemetryEveryEvents = 16384;
+
   /// Profile the simulator: per-event-type dispatch counts, wall-clock
   /// attribution, and event-queue depth samples, folded into
   /// ScenarioResult::metrics ("profile.*") and queueDepthSamples. Reads
@@ -206,6 +218,29 @@ struct ScenarioResult {
   // snapshots stay byte-identical across shard counts.
   std::uint64_t crossShardEvents = 0;  ///< boundary events through mailboxes
   std::uint64_t shardMigrations = 0;   ///< host ownership changes observed
+
+  // Run-health roll-ups (PR 10): deterministic engine-state high-water
+  // marks, populated for every run whether or not a telemetry file was
+  // requested. Plain fields rather than `metrics` entries for the same
+  // reason as the shard counters above.
+  std::uint64_t peakQueueDepth = 0;  ///< event-queue depth high-water mark
+  std::uint64_t slabSlotsTotal = 0;  ///< pooled event slots ever allocated
+  /// Events committed per shard (empty when config.shards == 1).
+  std::vector<std::uint64_t> shardCommitted;
+  /// max/mean over shardCommitted; 1.0 when serial or perfectly balanced.
+  double shardImbalance = 1.0;
+  /// Stalled (shard, window) pairs — always 0 in sequenced scenario runs
+  /// (no window barriers); meaningful for engine-level windowed workloads.
+  std::uint64_t shardWindowStalls = 0;
+  /// Samples written to config.telemetryPath (0 when telemetry was off).
+  std::uint64_t telemetrySamples = 0;
+
+  /// Wall-clock seconds the run loop took. Reporting-only: feeds the
+  /// campaign status heartbeat and straggler detection, and must NEVER be
+  /// serialized into campaign result records (those are byte-reproducible
+  /// pure functions of the config — the resume-equality CI gate depends
+  /// on it).
+  double runWallSeconds = 0.0;
 
   /// Sampled state digests (empty unless config.digestEveryEvents > 0).
   /// The last sample is always taken at the horizon after the closing

@@ -1,0 +1,177 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <chrono>  // ecgrid-lint: allow(banned-random)
+#include <vector>
+
+#include "sim/sharded/engine.hpp"
+#include "util/error.hpp"
+
+namespace ecgrid::obs {
+
+namespace {
+
+/// Seconds on the monotonic clock. Reporting-only: wall time appears in
+/// the stream but never feeds the simulation, so telemetry-armed runs
+/// replay byte-identically — the same justification SimProfiler and the
+/// bench timers carry for their lint allows.
+double wallNowSeconds() {
+  // ecgrid-lint: allow(banned-random)
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+/// Minimal JSON string escaping for header meta (matches trace.cpp).
+void writeEscaped(std::FILE* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      std::fputc('\\', out);
+      std::fputc(c, out);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      std::fprintf(out, "\\u%04x", static_cast<unsigned char>(c));
+    } else {
+      std::fputc(c, out);
+    }
+  }
+}
+
+/// max/mean ratio over per-shard committed counts; 1.0 for degenerate
+/// inputs (serial, single shard, nothing committed yet).
+double imbalanceRatio(const std::vector<std::uint64_t>& committed) {
+  if (committed.size() < 2) return 1.0;
+  std::uint64_t total = 0;
+  std::uint64_t peak = 0;
+  for (std::uint64_t count : committed) {
+    total += count;
+    peak = std::max(peak, count);
+  }
+  if (total == 0) return 1.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(committed.size());
+  return static_cast<double>(peak) / mean;
+}
+
+}  // namespace
+
+RunTelemetry::RunTelemetry(sim::Simulator& sim, const std::string& path,
+                           std::uint64_t sampleEveryEvents,
+                           const std::map<std::string, std::string>& meta)
+    : sim_(sim), sampleEvery_(sampleEveryEvents) {
+  out_ = std::fopen(path.c_str(), "w");
+  ECGRID_REQUIRE(out_ != nullptr, "cannot open telemetry output: " + path);
+  std::fprintf(out_,
+               "{\"schema\":\"ecgrid-telemetry\",\"version\":1,"
+               "\"sample_every_events\":%llu",
+               static_cast<unsigned long long>(sampleEvery_));
+  for (const auto& [key, value] : meta) {
+    std::fprintf(out_, ",\"");
+    writeEscaped(out_, key.c_str());
+    std::fprintf(out_, "\":\"");
+    writeEscaped(out_, value.c_str());
+    std::fprintf(out_, "\"");
+  }
+  std::fprintf(out_, "}\n");
+  wallStart_ = wallNowSeconds();
+  lastWall_ = wallStart_;
+}
+
+RunTelemetry::~RunTelemetry() {
+  finish();
+  if (out_ != nullptr) std::fclose(out_);
+}
+
+void RunTelemetry::writeHealthFields(double wallNow) {
+  const std::uint64_t events = sim_.eventsExecuted();
+  const double simTime = sim_.now();
+  std::fprintf(out_,
+               "\"events\":%llu,\"sim_t\":%.9f,\"wall_s\":%.6f,"
+               "\"queue_depth\":%zu,\"peak_queue_depth\":%zu,"
+               "\"slab_slots\":%zu",
+               static_cast<unsigned long long>(events), simTime,
+               wallNow - wallStart_, sim_.queueDepth(), sim_.peakQueueDepth(),
+               sim_.slabSlotsTotal());
+  const AllocSample alloc = allocSampler_ ? allocSampler_() : AllocSample{};
+  std::fprintf(out_,
+               ",\"alloc_phase\":\"%s\",\"alloc_count\":%llu,"
+               "\"alloc_hot\":%llu",
+               alloc.phase,
+               static_cast<unsigned long long>(alloc.allocations),
+               static_cast<unsigned long long>(alloc.hotAllocations));
+  const sim::sharded::ShardedEngine* engine = sim_.shardedEngine();
+  if (engine != nullptr) {
+    const std::vector<std::uint64_t> committed = engine->committedPerShard();
+    std::fprintf(out_, ",\"shards\":%d,\"shard_committed\":[",
+                 engine->shardCount());
+    for (std::size_t s = 0; s < committed.size(); ++s) {
+      std::fprintf(out_, "%s%llu", s == 0 ? "" : ",",
+                   static_cast<unsigned long long>(committed[s]));
+    }
+    std::fprintf(out_,
+                 "],\"shard_imbalance\":%.6f,\"window_stalls\":%llu,"
+                 "\"cross_shard\":%llu",
+                 imbalanceRatio(committed),
+                 static_cast<unsigned long long>(engine->windowStalls()),
+                 static_cast<unsigned long long>(engine->crossShardEvents()));
+  }
+}
+
+void RunTelemetry::sample() {
+  if (out_ == nullptr || finished_) return;
+  const double wallNow = wallNowSeconds();
+  const std::uint64_t events = sim_.eventsExecuted();
+  const double simTime = sim_.now();
+  // Interval rates since the previous sample (or construction). Wall
+  // deltas can be ~0 on coarse clocks; rates degrade to 0 rather than
+  // inf/NaN so downstream JSON parsing never sees a non-finite token.
+  const double wallDelta = wallNow - lastWall_;
+  const double eventsRate =
+      wallDelta > 0.0
+          ? static_cast<double>(events - lastEvents_) / wallDelta
+          : 0.0;
+  const double simRate =
+      wallDelta > 0.0 ? (simTime - lastSimTime_) / wallDelta : 0.0;
+  ++samples_;
+  std::fprintf(out_, "{\"kind\":\"sample\",\"seq\":%llu,",
+               static_cast<unsigned long long>(samples_));
+  writeHealthFields(wallNow);
+  std::fprintf(out_, ",\"events_per_wall_s\":%.3f,\"sim_per_wall\":%.6f}\n",
+               eventsRate, simRate);
+  lastWall_ = wallNow;
+  lastEvents_ = events;
+  lastSimTime_ = simTime;
+}
+
+void RunTelemetry::finish() {
+  if (out_ == nullptr || finished_) return;
+  const double wallNow = wallNowSeconds();
+  const double wallTotal = wallNow - wallStart_;
+  const std::uint64_t events = sim_.eventsExecuted();
+  // Summary rates are run means (whole run over whole wall), unlike the
+  // per-sample interval rates.
+  const double eventsRate =
+      wallTotal > 0.0 ? static_cast<double>(events) / wallTotal : 0.0;
+  const double simRate = wallTotal > 0.0 ? sim_.now() / wallTotal : 0.0;
+  std::fprintf(out_, "{\"kind\":\"summary\",\"samples\":%llu,",
+               static_cast<unsigned long long>(samples_));
+  writeHealthFields(wallNow);
+  std::fprintf(out_, ",\"events_per_wall_s\":%.3f,\"sim_per_wall\":%.6f}\n",
+               eventsRate, simRate);
+  std::fflush(out_);
+  finished_ = true;
+}
+
+TelemetryRollup RunTelemetry::rollup() const {
+  TelemetryRollup rollup;
+  rollup.samples = samples_;
+  rollup.peakQueueDepth = sim_.peakQueueDepth();
+  rollup.slabSlots = sim_.slabSlotsTotal();
+  const sim::sharded::ShardedEngine* engine = sim_.shardedEngine();
+  if (engine != nullptr) {
+    rollup.shardImbalance = imbalanceRatio(engine->committedPerShard());
+    rollup.windowStalls = engine->windowStalls();
+  }
+  return rollup;
+}
+
+}  // namespace ecgrid::obs

@@ -68,6 +68,7 @@ ECGRID_HOT_PATH EventHandle EventQueue::push(Time time, InlineTask action,
     heap_.reserve(heap_.empty() ? kInitialSlots : heap_.capacity() * 2);
   }
   heap_.push_back(HeapEntry{time, tieKey, sequence, index});
+  if (heap_.size() > peakDepth_) peakDepth_ = heap_.size();
   siftUp(heap_.size() - 1);
   return makeHandle(this, index, slot.generation);
 }

@@ -131,6 +131,15 @@ class ECGRID_DOMAIN_PER_SCENARIO EventQueue : public EventTarget {
 
   std::size_t sizeIncludingCancelled() const { return heap_.size(); }
 
+  /// Largest heap size ever observed (cancelled records included) — the
+  /// queue-depth high-water mark run telemetry reports. Tracked at push,
+  /// so it is exact: depth only grows when an event is inserted.
+  std::size_t peakDepth() const { return peakDepth_; }
+
+  /// Pooled slot records ever allocated (the slab high-water mark; slots
+  /// are recycled, never returned to the allocator).
+  std::size_t slabSlots() const { return slots_.size(); }
+
  protected:
   // EventTarget backends (EventHandle reaches them through the base).
   void cancelSlot(std::uint32_t slot, std::uint32_t generation) override;
@@ -192,6 +201,7 @@ class ECGRID_DOMAIN_PER_SCENARIO EventQueue : public EventTarget {
   std::uint32_t executing_ = kNoSlot;  ///< slot recycled on next pop
   std::uint64_t nextSequence_ = 0;
   std::size_t cancelledInHeap_ = 0;  ///< cancelled records awaiting reclaim
+  std::size_t peakDepth_ = 0;        ///< max heap_.size() ever observed
 };
 
 inline void EventHandle::cancel() {

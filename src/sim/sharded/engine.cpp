@@ -27,6 +27,7 @@ ShardedEngine::ShardedEngine(const ShardedEngineConfig& config)
   }
   edgeDirty_.assign(edges, 0);
   dirtyEdges_.reserve(edges);
+  committedSequenced_.assign(static_cast<std::size_t>(shards), 0);
 }
 
 void ShardedEngine::registerHost(std::uint64_t key,
@@ -99,6 +100,10 @@ ECGRID_HOT_PATH bool ShardedEngine::popNext(Time& time, InlineTask& task,
                                             const char*& label, int& shard) {
   ECGRID_HOT_SCOPE();
   drainDirtyEdges();
+  // Depth high-water at commit granularity: everything queued is in the
+  // shard heaps now (the drain above emptied the mailboxes).
+  const std::size_t depth = queueDepthTotal();
+  if (depth > peakQueueDepth_) peakQueueDepth_ = depth;
   int best = -1;
   const EventKey* bestKey = nullptr;
   const int shards = map_.shardCount();
@@ -113,6 +118,7 @@ ECGRID_HOT_PATH bool ShardedEngine::popNext(Time& time, InlineTask& task,
   const bool popped =
       queues_[static_cast<std::size_t>(best)]->popFront(time, task, label);
   ECGRID_REQUIRE(popped, "peeked shard head vanished before pop");
+  ++committedSequenced_[static_cast<std::size_t>(best)];
   currentShard_ = best;
   executingShard_ = best;
   shard = best;
@@ -139,6 +145,20 @@ Time ShardedEngine::nextEventTime() {
 std::size_t ShardedEngine::queueDepthTotal() const {
   std::size_t total = mailboxBuffered_;
   for (const auto& queue : queues_) total += queue->sizeIncludingCancelled();
+  return total;
+}
+
+std::vector<std::uint64_t> ShardedEngine::committedPerShard() const {
+  std::vector<std::uint64_t> committed = committedSequenced_;
+  for (std::size_t s = 0; s < committed.size(); ++s) {
+    committed[s] += contexts_[s].executed_;
+  }
+  return committed;
+}
+
+std::size_t ShardedEngine::slabSlotsTotal() const {
+  std::size_t total = 0;
+  for (const auto& queue : queues_) total += queue->slabSlots();
   return total;
 }
 
@@ -228,10 +248,16 @@ WindowedStats ShardedEngine::runWindowed(int workers, Time until) {
                  "windowed mode needs a positive lookahead");
   const int shards = map_.shardCount();
   WindowedStats stats;
+  std::vector<std::uint64_t> executedAtBarrier(
+      static_cast<std::size_t>(shards), 0);
   while (true) {
     // Window barrier: all boundary events posted in the previous window
     // land before the next floor is computed.
     drainAllEdges();
+    // Depth high-water at the barrier (single-threaded point, so the sum
+    // over shard heaps is race-free).
+    const std::size_t depth = queueDepthTotal();
+    if (depth > peakQueueDepth_) peakQueueDepth_ = depth;
     Time floor = kTimeNever;
     for (int s = 0; s < shards; ++s) {
       const EventKey* key = queues_[static_cast<std::size_t>(s)]->peek();
@@ -240,6 +266,10 @@ WindowedStats ShardedEngine::runWindowed(int workers, Time until) {
     if (floor == kTimeNever || floor > until) break;
     const Time horizon = std::min(floor + config_.lookaheadSeconds, until);
     windowHorizon_ = horizon;
+    for (int s = 0; s < shards; ++s) {
+      executedAtBarrier[static_cast<std::size_t>(s)] =
+          contexts_[static_cast<std::size_t>(s)].executed_;
+    }
     if (workers <= 1 || shards == 1) {
       for (int s = 0; s < shards; ++s) runShardWindow(s, horizon);
     } else {
@@ -258,7 +288,16 @@ WindowedStats ShardedEngine::runWindowed(int workers, Time until) {
       for (std::thread& thread : pool) thread.join();
     }
     ++stats.windows;
+    // Stall accounting after the joins: a shard that committed nothing
+    // this window sat idle at the barrier while its peers worked.
+    for (int s = 0; s < shards; ++s) {
+      if (contexts_[static_cast<std::size_t>(s)].executed_ ==
+          executedAtBarrier[static_cast<std::size_t>(s)]) {
+        ++stats.stalledShardWindows;
+      }
+    }
   }
+  windowStalls_ += stats.stalledShardWindows;
   for (const ShardContext& context : contexts_) {
     stats.eventsExecuted += context.executed_;
     stats.remotePosted += context.remotePosted_;

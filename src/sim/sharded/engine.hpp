@@ -61,6 +61,10 @@ struct WindowedStats {
   std::uint64_t eventsExecuted = 0;
   std::uint64_t remotePosted = 0;
   std::uint64_t windows = 0;
+  /// (shard, window) pairs where the shard committed zero events — the
+  /// load-imbalance signal for windowed workloads: a stalled shard sat at
+  /// the window barrier doing nothing while its peers worked.
+  std::uint64_t stalledShardWindows = 0;
 };
 
 class ECGRID_DOMAIN_PER_SCENARIO ShardedEngine {
@@ -133,6 +137,28 @@ class ECGRID_DOMAIN_PER_SCENARIO ShardedEngine {
     return map_.migrations();
   }
 
+  // ---- Telemetry surface (both modes) ----------------------------------
+
+  /// Events committed per shard: sequenced-mode popNext commits plus
+  /// windowed-mode per-context executions. Deterministic — a pure
+  /// function of the event schedule, never of wall time.
+  [[nodiscard]] std::vector<std::uint64_t> committedPerShard() const;
+
+  /// High-water mark of queueDepthTotal(), sampled at commit granularity
+  /// (sequenced: before each popNext; windowed: at each window barrier).
+  /// Commit-granularity sampling can miss intra-event spikes but is
+  /// deterministic and costs one O(shards) sum per commit — the same
+  /// order as the K-way minimum popNext already pays.
+  [[nodiscard]] std::size_t peakQueueDepth() const { return peakQueueDepth_; }
+
+  /// Pooled slot records ever allocated across all shard queues (slab
+  /// high-water; slabs recycle slots but never shrink).
+  [[nodiscard]] std::size_t slabSlotsTotal() const;
+
+  /// Cumulative stalled (shard, window) pairs over all runWindowed calls.
+  /// Always 0 in sequenced mode, where there are no window barriers.
+  [[nodiscard]] std::uint64_t windowStalls() const { return windowStalls_; }
+
   // ---- Windowed mode (engine-level workloads) --------------------------
 
   /// Per-shard execution context handed to windowed tasks (tasks capture
@@ -198,9 +224,13 @@ class ECGRID_DOMAIN_PER_SCENARIO ShardedEngine {
   std::vector<std::size_t> dirtyEdges_;
   std::vector<char> edgeDirty_;
   std::optional<RngStream> tieBreakRng_;
+  /// Sequenced-mode commits attributed to each shard (telemetry).
+  std::vector<std::uint64_t> committedSequenced_;
   std::uint64_t nextSequence_ = 0;
   std::uint64_t crossShardEvents_ = 0;
+  std::uint64_t windowStalls_ = 0;
   std::size_t mailboxBuffered_ = 0;
+  std::size_t peakQueueDepth_ = 0;
   int currentShard_ = ShardMap::kHubShard;
   int executingShard_ = -1;
   /// Current window horizon — the causality floor for windowed posts.

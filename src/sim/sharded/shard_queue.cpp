@@ -60,6 +60,7 @@ ECGRID_HOT_PATH EventHandle ShardQueue::push(const EventKey& key, InlineTask tas
     heap_.reserve(heap_.empty() ? kInitialSlots : heap_.capacity() * 2);
   }
   heap_.push_back(HeapEntry{key, index});
+  if (heap_.size() > peakDepth_) peakDepth_ = heap_.size();
   siftUp(heap_.size() - 1);
   return makeHandle(this, index, slot.generation);
 }

@@ -73,6 +73,13 @@ class ECGRID_DOMAIN_PER_SCENARIO ShardQueue : public EventTarget {
   /// (matches sim::EventQueue::sizeIncludingCancelled for depth probes).
   std::size_t sizeIncludingCancelled() const { return heap_.size(); }
 
+  /// Largest heap size ever observed — exact per-shard depth high-water
+  /// mark, tracked at push like sim::EventQueue::peakDepth().
+  std::size_t peakDepth() const { return peakDepth_; }
+
+  /// Pooled slot records ever allocated (slab high-water; never shrinks).
+  std::size_t slabSlots() const { return slots_.size(); }
+
  protected:
   void cancelSlot(std::uint32_t slot, std::uint32_t generation) override;
   bool slotPending(std::uint32_t slot,
@@ -118,6 +125,7 @@ class ECGRID_DOMAIN_PER_SCENARIO ShardQueue : public EventTarget {
   std::uint32_t freeHead_ = kNoSlot;
   std::uint32_t executing_ = kNoSlot;
   std::size_t cancelledInHeap_ = 0;  ///< cancelled records awaiting reclaim
+  std::size_t peakDepth_ = 0;        ///< max heap_.size() ever observed
 };
 
 }  // namespace ecgrid::sim::sharded

@@ -79,6 +79,19 @@ Time Simulator::nextEventTime() {
   return engine_ != nullptr ? engine_->nextEventTime() : queue_.peekTime();
 }
 
+std::size_t Simulator::queueDepth() const {
+  return engine_ != nullptr ? engine_->queueDepthTotal()
+                            : queue_.sizeIncludingCancelled();
+}
+
+std::size_t Simulator::peakQueueDepth() const {
+  return engine_ != nullptr ? engine_->peakQueueDepth() : queue_.peakDepth();
+}
+
+std::size_t Simulator::slabSlotsTotal() const {
+  return engine_ != nullptr ? engine_->slabSlotsTotal() : queue_.slabSlots();
+}
+
 void Simulator::perturbTieBreaks() {
   if (engine_ != nullptr) {
     engine_->perturbTieBreak(rngFactory_.stream("check/tiebreak"));

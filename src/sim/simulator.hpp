@@ -123,6 +123,20 @@ class ECGRID_DOMAIN_PER_SCENARIO Simulator {
   /// Time of the next live event, or kTimeNever when the queue is empty.
   Time nextEventTime();
 
+  // ---- Telemetry surface (src/obs/telemetry.hpp reads these) -----------
+
+  /// Events queued right now: heap entries including not-yet-reclaimed
+  /// cancellations, plus mailbox-buffered boundary events when sharded.
+  std::size_t queueDepth() const;
+
+  /// High-water mark of queueDepth over the run. Exact (per-push) on the
+  /// serial path; commit-granularity on the sharded engine.
+  std::size_t peakQueueDepth() const;
+
+  /// Pooled event-slot records ever allocated across all queues — the
+  /// slab high-water mark (slots recycle; slabs never shrink).
+  std::size_t slabSlotsTotal() const;
+
   /// Swap the serial event queue for the sharded engine
   /// (sim/sharded/engine.hpp, sequenced mode). Must be called before
   /// anything is scheduled; the run then commits events in the identical

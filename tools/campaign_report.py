@@ -7,12 +7,16 @@ Record schema:
 
   {"campaign": str, "fingerprint": 16-hex str, "seed": int,
    "config": {axis-key: value, ...}, "ok": bool, "error": str,
-   "result": {scalar metrics..., "metrics": {name: value, ...}}}
+   "result": {scalar metrics..., "metrics": {name: value, ...}},
+   "telemetry": {"peakQueueDepth": n, "slabSlots": n,
+                 "eventsPerSimSecond": x, "shardImbalance": x,
+                 "windowStalls": n, "crossShardEvents": n}}
 
-`result` is present iff `ok` is true; `error` is non-empty iff `ok` is
-false. Torn trailing lines (the process died mid-write) are tolerated by
-the runner's resume scan, so the default report tolerates them too and
-counts them; `--check` treats any malformed line as a failure.
+`result` (and the deterministic `telemetry` roll-up, PR 10) is present
+iff `ok` is true; `error` is non-empty iff `ok` is false. Torn trailing
+lines (the process died mid-write) are tolerated by the runner's resume
+scan, so the default report tolerates them too and counts them;
+`--check` treats any malformed line as a failure.
 
 Modes:
   default   — group records by their override config (seeds collapse into
@@ -20,17 +24,25 @@ Modes:
               mean delivery rate / p95 latency / aborted flows.
   --check   — strict schema validation for CI: every line parses, every
               record carries the required keys with the right types,
-              fingerprints are 16 lowercase hex chars and unique, and
-              ok/error/result agree. Exit 0 = valid, 1 = violations.
+              fingerprints are 16 lowercase hex chars and unique,
+              ok/error/result agree, and any telemetry roll-up is
+              complete (all six keys, numeric, imbalance >= 1, counts
+              >= 0, never on a failed record). Exit 0 = valid,
+              1 = violations.
+  --db PATH — read records from an ecgrid_query.py SQLite store instead
+              of JSONL files and print the same grouped report
+              (report mode only; --check needs the raw JSONL).
 
 Only the Python standard library is used.
 
 Usage:
     tools/campaign_report.py results.jsonl [more files...]
     tools/campaign_report.py --check results.jsonl
+    tools/campaign_report.py --db store.db
 """
 
 import json
+import sqlite3
 import sys
 
 MAX_REPORTED = 20
@@ -54,6 +66,38 @@ RESULT_SCALARS = (
     "deliveryRate",
     "eventsExecuted",
 )
+
+# The deterministic per-run roll-up recordToJson attaches to ok records.
+# Keys must match campaign_runner.cpp's telemetryToJson exactly: a missing
+# or extra key means the record writer and this checker have diverged.
+TELEMETRY_KEYS = (
+    "peakQueueDepth",
+    "slabSlots",
+    "eventsPerSimSecond",
+    "shardImbalance",
+    "windowStalls",
+    "crossShardEvents",
+)
+
+
+def check_telemetry(telemetry):
+    """Yield violation strings for one record's telemetry roll-up."""
+    if not isinstance(telemetry, dict):
+        yield "telemetry is %s, not an object" % type(telemetry).__name__
+        return
+    for key in TELEMETRY_KEYS:
+        if not isinstance(telemetry.get(key), (int, float)):
+            yield "telemetry key %r missing or non-numeric" % key
+    for key in sorted(set(telemetry) - set(TELEMETRY_KEYS)):
+        yield "unexpected telemetry key %r" % key
+    imbalance = telemetry.get("shardImbalance")
+    if isinstance(imbalance, (int, float)) and imbalance < 1.0:
+        yield "shardImbalance %r < 1 (it is max/mean)" % imbalance
+    for key in ("peakQueueDepth", "slabSlots", "windowStalls",
+                "crossShardEvents"):
+        value = telemetry.get(key)
+        if isinstance(value, (int, float)) and value < 0:
+            yield "telemetry key %r is negative" % key
 
 
 def load_lines(path):
@@ -88,11 +132,15 @@ def check_record(record):
                     yield "result key %r missing or non-numeric" % key
             if not isinstance(result.get("metrics"), dict):
                 yield "result has no metrics object"
+        if "telemetry" in record:
+            yield from check_telemetry(record["telemetry"])
     elif ok is False:
         if not record.get("error"):
             yield "failed record has empty error"
         if "result" in record:
             yield "failed record carries a result object"
+        if "telemetry" in record:
+            yield "failed record carries a telemetry roll-up"
 
 
 def run_check(paths):
@@ -141,30 +189,62 @@ def mean(values):
     return sum(values) / len(values) if values else 0.0
 
 
-def run_report(paths):
-    groups = {}
-    torn = 0
+def records_from_files(paths):
+    """Yield parsed records; a torn/malformed line yields None."""
     for path in paths:
         for _, line in load_lines(path):
             try:
-                record = json.loads(line)
+                yield json.loads(line)
             except ValueError:
-                torn += 1
-                continue
-            config = record.get("config", {})
-            group = groups.setdefault(
-                group_key(config),
-                {"config": config, "seeds": 0, "failed": 0, "delivery": [],
-                 "p95": [], "aborted": []},
-            )
-            group["seeds"] += 1
-            if not record.get("ok"):
-                group["failed"] += 1
-                continue
-            result = record.get("result", {})
-            group["delivery"].append(result.get("deliveryRate", 0.0))
-            group["p95"].append(result.get("p95LatencySeconds", 0.0))
-            group["aborted"].append(result.get("abortedFlows", 0))
+                yield None
+
+
+def records_from_db(path):
+    """Reconstruct records from an ecgrid_query.py SQLite store."""
+    db = sqlite3.connect(path)
+    rows = db.execute(
+        "SELECT fingerprint, campaign, seed, ok, error FROM run"
+    ).fetchall()
+    for fingerprint, campaign, seed, ok, error in rows:
+        config = dict(db.execute(
+            "SELECT key, value FROM run_config WHERE fingerprint = ?",
+            (fingerprint,)))
+        result = dict(db.execute(
+            "SELECT name, value FROM run_metric WHERE fingerprint = ? "
+            "AND name NOT LIKE 'telemetry.%'", (fingerprint,)))
+        yield {
+            "campaign": campaign,
+            "fingerprint": fingerprint,
+            "seed": seed,
+            "config": config,
+            "ok": bool(ok),
+            "error": error,
+            "result": result,
+        }
+    db.close()
+
+
+def run_report(records):
+    groups = {}
+    torn = 0
+    for record in records:
+        if record is None:
+            torn += 1
+            continue
+        config = record.get("config", {})
+        group = groups.setdefault(
+            group_key(config),
+            {"config": config, "seeds": 0, "failed": 0, "delivery": [],
+             "p95": [], "aborted": []},
+        )
+        group["seeds"] += 1
+        if not record.get("ok"):
+            group["failed"] += 1
+            continue
+        result = record.get("result", {})
+        group["delivery"].append(result.get("deliveryRate", 0.0))
+        group["p95"].append(result.get("p95LatencySeconds", 0.0))
+        group["aborted"].append(result.get("abortedFlows", 0))
     if not groups:
         print("no records", file=sys.stderr)
         return 1
@@ -199,12 +279,28 @@ def run_report(paths):
 def main(argv):
     args = [arg for arg in argv[1:] if arg != "--check"]
     check = len(args) != len(argv) - 1
+    db = None
+    if "--db" in args:
+        at = args.index("--db")
+        if at + 1 >= len(args):
+            print("--db needs a path", file=sys.stderr)
+            return 2
+        db = args[at + 1]
+        del args[at:at + 2]
+    if db is not None:
+        if check:
+            print("--check needs the raw JSONL, not --db", file=sys.stderr)
+            return 2
+        if args:
+            print("--db replaces file arguments", file=sys.stderr)
+            return 2
+        return run_report(records_from_db(db))
     if not args:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     if check:
         return run_check(args)
-    return run_report(args)
+    return run_report(records_from_files(args))
 
 
 if __name__ == "__main__":

@@ -22,12 +22,20 @@
 //   --max-runs=N       stop after N scenarios (testing: simulated kill)
 //   --resume-from=F    extra JSONL file(s) for the resume scan
 //                      (comma-separated; may repeat via commas)
+//   --status-file=F    live JSON status heartbeat, rewritten atomically
+//                      per batch: counts, in-flight fingerprints, wall
+//                      percentiles, ETA, stragglers. With --workers=N
+//                      each worker writes `F.w<i>` and the parent polls
+//                      and aggregates them into F.
+//   --straggler-factor=K  flag completed runs at >= K x median wall time
+//                      (default 4)
 //   --dry-run          print the expansion summary and exit
 //   --quiet            suppress per-batch progress lines
 
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -38,6 +46,7 @@
 #include "campaign/campaign_runner.hpp"
 #include "campaign/sweep_spec.hpp"
 #include "util/flags.hpp"
+#include "util/json.hpp"
 
 namespace {
 
@@ -90,11 +99,105 @@ std::string workerResultsPath(const std::string& resultsPath, int worker) {
   return resultsPath + ".w" + std::to_string(worker);
 }
 
+std::string workerStatusPath(const std::string& statusPath, int worker) {
+  return statusPath + ".w" + std::to_string(worker);
+}
+
+/// Fold the per-worker status heartbeats into one fleet-level status
+/// file: summed counts, concatenated in-flight/straggler lists, the max
+/// worker ETA (workers run in parallel), and the raw per-worker objects
+/// for drill-down. Best-effort: a worker that has not written yet simply
+/// contributes nothing, and a torn read is skipped (workers write via
+/// rename, so that only happens for exotic filesystems).
+void aggregateWorkerStatus(const std::string& statusPath, int workers,
+                           const std::string& campaignName) {
+  ecgrid::util::JsonObject fleet;
+  double totalRuns = 0.0;
+  double stripeRuns = 0.0;
+  double skipped = 0.0;
+  double executed = 0.0;
+  double failed = 0.0;
+  double remaining = 0.0;
+  double etaMax = 0.0;
+  int reporting = 0;
+  int done = 0;
+  ecgrid::util::JsonArray inFlight;
+  ecgrid::util::JsonArray stragglers;
+  ecgrid::util::JsonArray perWorker;
+  for (int w = 0; w < workers; ++w) {
+    std::ifstream in(workerStatusPath(statusPath, w));
+    if (!in) continue;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    ecgrid::util::JsonValue status;
+    try {
+      status = ecgrid::util::parseJson(buffer.str());
+    } catch (const std::invalid_argument&) {
+      continue;
+    }
+    ++reporting;
+    const auto number = [&status](const char* key) {
+      const ecgrid::util::JsonValue* value = status.find(key);
+      return value != nullptr && value->kind() == ecgrid::util::JsonKind::kNumber
+                 ? value->asNumber()
+                 : 0.0;
+    };
+    // total_runs is the full expansion, identical in every worker.
+    totalRuns = number("total_runs");
+    stripeRuns += number("stripe_runs");
+    skipped += number("skipped");
+    executed += number("executed");
+    failed += number("failed");
+    remaining += number("remaining");
+    etaMax = std::max(etaMax, number("eta_seconds"));
+    if (const auto* flag = status.find("done");
+        flag != nullptr && flag->kind() == ecgrid::util::JsonKind::kBool &&
+        flag->asBool()) {
+      ++done;
+    }
+    if (const auto* list = status.find("in_flight");
+        list != nullptr && list->kind() == ecgrid::util::JsonKind::kArray) {
+      for (const auto& item : list->asArray()) inFlight.push_back(item);
+    }
+    if (const auto* list = status.find("stragglers");
+        list != nullptr && list->kind() == ecgrid::util::JsonKind::kArray) {
+      for (const auto& item : list->asArray()) stragglers.push_back(item);
+    }
+    perWorker.push_back(status);
+  }
+  fleet["campaign"] = campaignName;
+  fleet["worker_count"] = static_cast<double>(workers);
+  fleet["workers_reporting"] = static_cast<double>(reporting);
+  fleet["total_runs"] = totalRuns;
+  fleet["stripe_runs"] = stripeRuns;
+  fleet["skipped"] = skipped;
+  fleet["executed"] = executed;
+  fleet["failed"] = failed;
+  fleet["remaining"] = remaining;
+  fleet["eta_seconds"] = etaMax;
+  fleet["in_flight"] = ecgrid::util::JsonValue(std::move(inFlight));
+  fleet["stragglers"] = ecgrid::util::JsonValue(std::move(stragglers));
+  fleet["per_worker"] = ecgrid::util::JsonValue(std::move(perWorker));
+  fleet["done"] = reporting == workers && done == workers;
+
+  const std::string tmpPath = statusPath + ".tmp";
+  {
+    std::ofstream out(tmpPath, std::ios::trunc);
+    if (!out) return;
+    out << ecgrid::util::JsonValue(std::move(fleet)).dump() << '\n';
+  }
+  std::rename(tmpPath.c_str(), statusPath.c_str());
+}
+
 /// Fork+exec one copy of this binary per worker, each striping the
-/// expansion and appending to its own file; merge when all exit.
+/// expansion and appending to its own file; merge when all exit. With a
+/// status path, the parent polls the per-worker heartbeats while waiting
+/// and keeps the aggregated fleet status fresh.
 int runMultiProcess(const std::string& self, const std::string& specPath,
                     const std::string& resultsPath, int workers, int jobs,
-                    long maxRuns, bool quiet) {
+                    long maxRuns, bool quiet, const std::string& statusPath,
+                    const std::string& stragglerFactor,
+                    const std::string& campaignName) {
   // Recover any previous interrupted multi-process run first, so the
   // children's resume scan only needs the main file.
   for (int w = 0; w < workers; ++w) {
@@ -114,6 +217,10 @@ int runMultiProcess(const std::string& self, const std::string& specPath,
     };
     if (maxRuns >= 0) args.push_back("--max-runs=" + std::to_string(maxRuns));
     if (quiet) args.push_back("--quiet");
+    if (!statusPath.empty()) {
+      args.push_back("--status-file=" + workerStatusPath(statusPath, w));
+      args.push_back("--straggler-factor=" + stragglerFactor);
+    }
     std::vector<char*> argv;
     argv.reserve(args.size() + 1);
     for (std::string& arg : args) argv.push_back(arg.data());
@@ -133,12 +240,35 @@ int runMultiProcess(const std::string& self, const std::string& specPath,
   }
 
   int exitCode = 0;
-  for (pid_t pid : children) {
-    int status = 0;
-    if (waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
-        WEXITSTATUS(status) != 0) {
-      exitCode = 1;
+  if (statusPath.empty()) {
+    for (pid_t pid : children) {
+      int status = 0;
+      if (waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
+          WEXITSTATUS(status) != 0) {
+        exitCode = 1;
+      }
     }
+  } else {
+    // Non-blocking wait loop so the fleet status stays fresh while
+    // workers run: re-aggregate every ~200 ms.
+    std::vector<bool> exited(children.size(), false);
+    std::size_t running = children.size();
+    while (running > 0) {
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        if (exited[i]) continue;
+        int status = 0;
+        const pid_t done = waitpid(children[i], &status, WNOHANG);
+        if (done == 0) continue;
+        exited[i] = true;
+        --running;
+        if (done < 0 || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+          exitCode = 1;
+        }
+      }
+      aggregateWorkerStatus(statusPath, workers, campaignName);
+      if (running > 0) usleep(200 * 1000);
+    }
+    aggregateWorkerStatus(statusPath, workers, campaignName);
   }
   // Merge whatever the workers produced — even on a failed worker the
   // completed lines are durable progress the next invocation resumes on.
@@ -155,7 +285,8 @@ int main(int argc, char** argv) {
     ecgrid::util::Flags flags(
         argc, argv,
         {"spec", "results", "jobs", "workers", "worker-index", "worker-count",
-         "max-runs", "resume-from", "dry-run", "quiet"});
+         "max-runs", "resume-from", "status-file", "straggler-factor",
+         "dry-run", "quiet"});
 
     std::string specPath = flags.getString("spec", "");
     if (specPath.empty() && !flags.positional().empty()) {
@@ -177,6 +308,8 @@ int main(int argc, char** argv) {
     const int workers = flags.getInt("workers", 1);
     const long maxRuns = flags.getInt("max-runs", -1);
     const bool quiet = flags.getBool("quiet", false);
+    const std::string statusPath = flags.getString("status-file", "");
+    const double stragglerFactor = flags.getDouble("straggler-factor", 4.0);
 
     const CampaignSpec spec =
         ecgrid::campaign::parseCampaignSpec(readFile(specPath));
@@ -190,7 +323,8 @@ int main(int argc, char** argv) {
 
     if (workers > 1) {
       return runMultiProcess(argv[0], specPath, resultsPath, workers, jobs,
-                             maxRuns, quiet);
+                             maxRuns, quiet, statusPath,
+                             std::to_string(stragglerFactor), spec.name);
     }
 
     CampaignOptions options;
@@ -200,6 +334,8 @@ int main(int argc, char** argv) {
     options.workerIndex = flags.getInt("worker-index", 0);
     options.workerCount = flags.getInt("worker-count", 1);
     options.maxRuns = maxRuns;
+    options.statusPath = statusPath;
+    options.stragglerFactor = stragglerFactor;
     if (!quiet) {
       options.progress = [](const std::string& line) {
         std::cerr << line << '\n';

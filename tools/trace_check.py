@@ -1,14 +1,20 @@
 #!/usr/bin/env python3
 """Validate ecgrid trace artifacts.
 
-Auto-detects and checks the three trace formats the simulator and its
+Auto-detects and checks the four trace formats the simulator and its
 tooling produce:
 
-  * ecgrid-events  — protocol event JSONL from obs::EventTracer
-                     (header {"schema":"ecgrid-events","version":1,...})
-  * ecgrid-state   — periodic network-state JSONL from stats::TraceRecorder
-                     (header {"schema":"ecgrid-state","version":2,...})
-  * chrome-trace   — {"traceEvents":[...]} JSON from tools/trace_chrome.py
+  * ecgrid-events    — protocol event JSONL from obs::EventTracer
+                       (header {"schema":"ecgrid-events","version":1,...})
+  * ecgrid-state     — periodic network-state JSONL from
+                       stats::TraceRecorder
+                       (header {"schema":"ecgrid-state","version":2,...})
+  * ecgrid-telemetry — run-health samples from obs::RunTelemetry
+                       (header {"schema":"ecgrid-telemetry","version":1,
+                       ...}); checked for required keys, monotone wall_s
+                       and sim_t, monotone event counts, and exactly one
+                       final {"kind":"summary"} record after the samples.
+  * chrome-trace     — {"traceEvents":[...]} JSON from tools/trace_chrome.py
 
 Checks applied to every format: each record parses as JSON, required keys
 are present, and timestamps never decrease. Event traces additionally get
@@ -43,6 +49,25 @@ STATE_REQUIRED = (
     "battery",
     "gps_err",
 )
+
+
+TELEMETRY_REQUIRED = (
+    "kind",
+    "events",
+    "sim_t",
+    "wall_s",
+    "queue_depth",
+    "peak_queue_depth",
+    "slab_slots",
+    "alloc_phase",
+    "alloc_count",
+    "alloc_hot",
+    "events_per_wall_s",
+    "sim_per_wall",
+)
+
+TELEMETRY_SHARDED = ("shards", "shard_committed", "shard_imbalance",
+                     "window_stalls", "cross_shard")
 
 
 class Checker:
@@ -133,6 +158,73 @@ def check_state(checker, records, version):
             checker.error(lineno, "served_x/served_y must appear together")
 
 
+def check_telemetry(checker, records):
+    """ecgrid-telemetry JSONL: monotone health samples + one summary."""
+    last = {"events": None, "sim_t": None, "wall_s": None, "seq": 0}
+    samples = 0
+    summary_line = None
+    for lineno, record in records:
+        kind = record.get("kind")
+        if summary_line is not None:
+            checker.error(
+                lineno, f"record after summary (line {summary_line})"
+            )
+            continue
+        if kind not in ("sample", "summary"):
+            checker.error(lineno, f"unknown kind {kind!r}")
+            continue
+        missing = [k for k in TELEMETRY_REQUIRED if k not in record]
+        if missing:
+            checker.error(lineno, f"missing keys: {', '.join(missing)}")
+            continue
+        for key in ("events", "sim_t", "wall_s"):
+            value = record[key]
+            if not isinstance(value, (int, float)):
+                checker.error(lineno, f"{key} is not a number")
+                break
+            if last[key] is not None and value < last[key]:
+                checker.error(
+                    lineno,
+                    f"{key} went backwards ({value} < {last[key]})",
+                )
+            last[key] = value
+        sharded = [k for k in TELEMETRY_SHARDED if k in record]
+        if sharded and len(sharded) != len(TELEMETRY_SHARDED):
+            absent = sorted(set(TELEMETRY_SHARDED) - set(sharded))
+            checker.error(
+                lineno, f"partial sharded fields (missing {absent})"
+            )
+        elif sharded:
+            committed = record["shard_committed"]
+            if (
+                not isinstance(committed, list)
+                or len(committed) != record["shards"]
+            ):
+                checker.error(
+                    lineno,
+                    "shard_committed length != shards "
+                    f"({committed!r} vs {record['shards']})",
+                )
+        if kind == "sample":
+            samples += 1
+            if record.get("seq") != samples:
+                checker.error(
+                    lineno,
+                    f"sample seq {record.get('seq')} != expected {samples}",
+                )
+        else:
+            summary_line = lineno
+            if record.get("samples") != samples:
+                checker.error(
+                    lineno,
+                    f"summary says {record.get('samples')} samples, "
+                    f"counted {samples}",
+                )
+    if summary_line is None:
+        checker.error("eof", "no summary record (run did not finish?)")
+    return samples
+
+
 def check_chrome(checker, trace):
     """Chrome trace-event JSON: the subset trace_chrome.py emits."""
     events = trace.get("traceEvents")
@@ -196,7 +288,8 @@ def check_file(path):
             return checker, "chrome-trace", len(trace.get("traceEvents", []))
 
         schema = header.get("schema") if isinstance(header, dict) else None
-        if schema not in ("ecgrid-events", "ecgrid-state"):
+        if schema not in ("ecgrid-events", "ecgrid-state",
+                          "ecgrid-telemetry"):
             checker.error(1, f"unknown schema {schema!r}")
             return checker, "unknown", 0
 
@@ -223,6 +316,13 @@ def check_file(path):
             label = f"ecgrid-events v{header.get('version')}"
             if open_count:
                 label += f" ({open_count} span(s) left open)"
+            return checker, label, count
+        if schema == "ecgrid-telemetry":
+            samples = check_telemetry(checker, counted())
+            label = (
+                f"ecgrid-telemetry v{header.get('version')} "
+                f"({samples} sample(s))"
+            )
             return checker, label, count
         check_state(checker, counted(), header.get("version", 1))
         return checker, f"ecgrid-state v{header.get('version')}", count
